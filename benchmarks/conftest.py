@@ -1,0 +1,31 @@
+"""Benchmark-suite plumbing.
+
+Each benchmark regenerates one table/figure of the paper on the
+virtual-clock simulation, prints it, asserts the paper's *shape* claims
+(who wins, by roughly what factor), and runs the generation under
+pytest-benchmark so wall-clock cost is tracked too.
+
+All measured delays are VIRTUAL time from the simulation's cost model;
+pytest-benchmark's wall-clock numbers only describe how long the
+simulation itself takes to run.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+def run_experiment(benchmark, fn, *args, **kwargs):
+    """Run ``fn`` once under pytest-benchmark and return its table."""
+    result = benchmark.pedantic(fn, args=args, kwargs=kwargs,
+                                rounds=1, iterations=1)
+    print()
+    print(result.render())
+    return result
+
+
+@pytest.fixture
+def experiment(benchmark):
+    def runner(fn, *args, **kwargs):
+        return run_experiment(benchmark, fn, *args, **kwargs)
+    return runner

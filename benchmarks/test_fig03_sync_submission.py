@@ -1,0 +1,20 @@
+"""Figure 3: synchronous job submission costs only a few percent.
+
+Paper shape: avg ~4%, range 2-11%, on six NN inferences (Mali G71).
+"""
+
+from repro.bench.experiments import sync_submission_overhead
+
+
+def test_fig03_sync_submission_overhead(experiment):
+    table = experiment(sync_submission_overhead)
+    overheads = table.column("overhead_pct")
+    # Sync submission always costs something, but stays modest.
+    assert all(0.0 <= o for o in overheads)
+    assert max(overheads) < 15.0
+    assert sum(overheads) / len(overheads) < 8.0
+    # The relative cost shrinks as jobs get longer: the job-dense
+    # small-kernel NNs (mobilenet/squeezenet) pay the most.
+    by_model = {row["model"]: row["overhead_pct"] for row in table.rows}
+    assert by_model["mobilenet"] > by_model["vgg16"]
+    assert by_model["squeezenet"] > by_model["alexnet"]

@@ -1,0 +1,40 @@
+"""Figure 5: CPU/GPU interaction intervals, accumulated by GPU job.
+
+Paper shape: intervals among earlier jobs are much longer than later
+ones (startup JIT/memory management), and the idle heuristic proves
+more than half of the observed interval time skippable.
+"""
+
+from repro.bench.experiments import interaction_intervals
+from repro.bench.workloads import build_stack
+from repro.core.intervals import summarize
+from repro.core.recorder import make_recorder
+
+
+def test_fig05_interval_accumulation(experiment):
+    table = experiment(interaction_intervals, "alexnet")
+    intervals = table.column("interval_us")
+    jobs = table.column("job")
+    assert len(jobs) > 10
+    # Early jobs (first fifth) carry far more interval time than the
+    # median later job.
+    fifth = max(1, len(intervals) // 5)
+    early = sum(intervals[:fifth]) / fifth
+    late = sorted(intervals[fifth:])[len(intervals[fifth:]) // 2]
+    assert early > 3 * late
+
+
+def test_fig05_majority_of_interval_time_skippable(benchmark):
+    import numpy as np
+
+    def record_and_summarize():
+        stack = build_stack("mali", "alexnet", fuse=False)
+        recorder = make_recorder(stack.driver)
+        recorder.begin("alexnet")
+        stack.net.run(np.zeros(stack.net.model.input_shape, np.float32))
+        recorder.end()
+        return summarize(recorder.interval_samples)
+
+    stats = benchmark.pedantic(record_and_summarize, rounds=1,
+                               iterations=1)
+    assert stats.skippable_fraction > 0.5

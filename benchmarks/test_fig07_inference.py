@@ -1,0 +1,36 @@
+"""Figure 7: NN inference delays, GR vs the full GPU stack.
+
+Paper shape: GR wins big where CPU overhead dominates (small/job-dense
+NNs on Mali, up to ~70% on MNIST-class workloads; ~20% faster on Mali
+average); the advantage diminishes on large NNs; on v3d GR is roughly
+at parity (paper: ~5% slower average), paying for dump loading.
+"""
+
+import pytest
+
+from repro.bench.experiments import inference_delays
+from repro.bench.harness import geomean
+
+
+def test_fig07_mali(experiment):
+    table = experiment(inference_delays, "mali")
+    by_model = {row["model"]: row["gr_vs_stack_pct"]
+                for row in table.rows}
+    # GR clearly faster on CPU-overhead-heavy workloads...
+    assert by_model["mnist"] < -20.0
+    assert by_model["mobilenet"] < -30.0
+    # ...with diminishing advantage on big GPU-bound NNs.
+    assert by_model["vgg16"] > by_model["mobilenet"]
+    assert abs(by_model["vgg16"]) < 25.0
+    ratios = [1.0 + row["gr_vs_stack_pct"] / 100.0 for row in table.rows]
+    assert geomean(ratios) < 0.9  # faster on average (paper: ~0.8)
+
+
+def test_fig07_v3d(experiment):
+    table = experiment(inference_delays, "v3d")
+    ratios = [1.0 + row["gr_vs_stack_pct"] / 100.0 for row in table.rows]
+    # Near parity on v3d (paper: ~5% slower; we land slightly faster --
+    # see EXPERIMENTS.md for the deviation note).
+    assert 0.75 < geomean(ratios) < 1.15
+    for row in table.rows:
+        assert abs(row["gr_vs_stack_pct"]) < 35.0

@@ -1,0 +1,34 @@
+"""Figure 9: Mali G71 replays recordings from other SKUs.
+
+Paper shape: unpatched recordings do not replay; with the page-table +
+MMU patch they replay correctly but 4-8x slower (core-affinity limited
+to the source SKU's cores); the affinity patch restores full speed.
+"""
+
+import math
+
+from repro.bench.experiments import cross_gpu_replay
+
+
+def test_fig09_cross_gpu(experiment):
+    table = experiment(cross_gpu_replay)
+
+    def row(sku, patch):
+        return next(r for r in table.rows
+                    if r["recorded_on"] == sku and r["patch"] == patch)
+
+    # Unpatched recordings fail outright.
+    assert row("g31", "unpatched")["replays"] == "no"
+    assert row("g52", "unpatched")["replays"] == "no"
+
+    # Half-patched recordings run 4-8x slower (1-core G31, 2-core G52).
+    g31_half = row("g31", "pgtable+mmu")["vs_native"]
+    g52_half = row("g52", "pgtable+mmu")["vs_native"]
+    assert 4.0 < g31_half < 9.0
+    assert 2.5 < g52_half < 5.5
+    assert g31_half > g52_half  # fewer source cores => slower
+
+    # Full patch restores full 8-core speed.
+    for sku in ("g31", "g52"):
+        full = row(sku, "pgtable+mmu+affinity")["vs_native"]
+        assert math.isclose(full, 1.0, rel_tol=0.1)

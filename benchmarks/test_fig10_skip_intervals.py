@@ -1,0 +1,18 @@
+"""Figure 10: interval skipping is what makes replay fast.
+
+Paper shape: without the GPU-idle skip heuristic, replayed inference
+runs 1.1-4.9x longer (and startup orders of magnitude longer).
+"""
+
+from repro.bench.experiments import skip_interval_ablation
+
+
+def test_fig10_skip_interval_ablation(experiment):
+    table = experiment(skip_interval_ablation)
+    slowdowns = table.column("slowdown_x")
+    assert all(s > 1.1 for s in slowdowns)
+    assert max(slowdowns) < 10.0
+    # Job-dense NNs (many short jobs -> many skippable gaps) suffer the
+    # most without skipping.
+    by_model = {row["model"]: row["slowdown_x"] for row in table.rows}
+    assert by_model["mobilenet"] > by_model["alexnet"]

@@ -1,0 +1,24 @@
+"""Figure 11: recording granularity vs end-to-end delay.
+
+Paper shape: per-fused-layer recordings cost only modestly more than a
+monolithic recording (~15%; the extra is per-recording replayer
+startup); plain per-layer costs more than fused.
+"""
+
+from repro.bench.experiments import recording_granularity
+
+
+def test_fig11_granularity(experiment):
+    table = experiment(recording_granularity)
+    for model in {row["model"] for row in table.rows}:
+        rows = {row["granularity"]: row for row in table.rows
+                if row["model"] == model}
+        fused = rows["per-fused-layer"]
+        per_layer = rows["per-layer"]
+        # Fused-layer chains stay close to monolithic...
+        assert 1.0 <= fused["vs_monolithic_x"] < 1.6
+        # ...and finer granularity costs monotonically more.
+        assert per_layer["vs_monolithic_x"] >= fused["vs_monolithic_x"]
+        assert per_layer["recordings"] >= fused["recordings"] >= 1
+        # Per-layer chains carry one recording per layer.
+        assert rows["monolithic"]["recordings"] == 1

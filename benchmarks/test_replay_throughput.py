@@ -1,0 +1,53 @@
+"""Micro-benchmarks of the replayer's hot paths.
+
+These are honest wall-clock pytest-benchmark measurements of the
+*simulation*: how fast this library records, loads, verifies and
+replays. They guard against performance regressions in the repository
+itself rather than reproducing a specific paper figure.
+"""
+
+import numpy as np
+import pytest
+
+from repro.bench.workloads import (fresh_replay_machine, get_recorded,
+                                   model_input)
+from repro.core.recording import Recording
+from repro.core.replayer import Replayer
+from repro.core.verifier import verify_recording
+
+
+@pytest.fixture(scope="module")
+def mnist_workload():
+    workload, _stack = get_recorded("mali", "mnist")
+    return workload
+
+
+def test_bench_recording_serialization(benchmark, mnist_workload):
+    recording = mnist_workload.recording
+    blob = benchmark(recording.to_bytes)
+    assert blob[:4] == b"GRRC"
+
+
+def test_bench_recording_deserialization(benchmark, mnist_workload):
+    blob = mnist_workload.recording.to_bytes()
+    recording = benchmark(Recording.from_bytes, blob)
+    assert recording.meta.workload == "mnist"
+
+
+def test_bench_static_verification(benchmark, mnist_workload):
+    machine = fresh_replay_machine("mali", seed=901)
+    replayer = Replayer(machine)
+    report = benchmark(verify_recording, mnist_workload.recording,
+                       replayer.nano.register_names())
+    assert report.actions > 0
+
+
+def test_bench_full_replay(benchmark, mnist_workload):
+    machine = fresh_replay_machine("mali", seed=902)
+    replayer = Replayer(machine)
+    replayer.init()
+    replayer.load(mnist_workload.recording)
+    x = model_input("mnist")
+
+    result = benchmark(replayer.replay, inputs={"input": x})
+    assert result.stats.jobs_kicked > 0

@@ -1,0 +1,18 @@
+"""Section 7.2: validation of replay correctness.
+
+Paper shape: across repeated replays with interference and varied
+clock rates, the replayer always produces results matching the CPU
+reference; injected transient failures are detected and recovered by
+re-execution.
+"""
+
+from repro.bench.experiments import validation_suite
+
+
+def test_s72_validation(experiment):
+    table = experiment(validation_suite, ("mnist", "alexnet"), "mali", 15)
+    for row in table.rows:
+        assert row["correct"] == row["runs"], \
+            f"{row['model']}: {row['correct']}/{row['runs']} correct"
+        assert row["faults_injected"] > 0
+        assert row["faults_recovered"] == row["faults_injected"]

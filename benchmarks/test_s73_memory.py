@@ -1,0 +1,20 @@
+"""Section 7.3: CPU memory, replayer vs stack.
+
+Paper shape: replayer 2-10 MB average 5 MB; stack 220-310 MB average
+270 MB -- a ~50x gap, because the replayer loads memory dumps directly
+and carries no GPU contexts / NN optimizer / JIT state.
+"""
+
+from repro.bench.experiments.s73 import cpu_memory
+
+
+def test_s73_cpu_memory(experiment):
+    table = experiment(cpu_memory)
+    for row in table.rows:
+        assert 150.0 < row["stack_mb"] < 450.0
+        assert row["replayer_mb"] < 15.0
+        assert row["ratio"] > 20.0
+    avg_replayer = sum(table.column("replayer_mb")) / len(table.rows)
+    avg_stack = sum(table.column("stack_mb")) / len(table.rows)
+    assert avg_replayer < 10.0
+    assert 150.0 < avg_stack < 400.0

@@ -1,0 +1,107 @@
+"""Table 3: the GR implementation matrix.
+
+Paper shape: GR works across GPU hardware (Mali family + v3d), GPU
+APIs (OpenCL, GLES compute, Vulkan), ML frameworks (ACL, ncnn,
+TensorFlow-delegate, DeepCL) and a roster of NN recordings (18
+inference + 1 training on Mali; inference + math kernels on v3d).
+
+This benchmark records through *every compatible stack combination*
+and replays each on a fresh machine, checking results against the CPU
+reference.
+"""
+
+import numpy as np
+import pytest
+
+from repro.bench.workloads import (MALI_FULL_ROSTER, fresh_replay_machine,
+                                   record_math_kernel, saxpy_ir,
+                                   vecadd_ir)
+from repro.core import Replayer, record_inference
+from repro.core.harness import record_training_iteration
+from repro.soc import Machine
+from repro.stack.driver import MaliDriver, V3dDriver
+from repro.stack.framework import (AclNetwork, DeepClTrainer, NcnnNetwork,
+                                   TensorflowNetwork, build_model)
+from repro.stack.framework.deepcl import mnist_train_spec
+from repro.stack.reference import run_reference
+from repro.stack.runtime import (GlesComputeRuntime, OpenClRuntime,
+                                 VulkanRuntime)
+
+#: The compatible-stack matrix of Table 3.
+MALI_STACKS = [
+    ("acl+opencl", OpenClRuntime, AclNetwork),
+    ("acl+gles-compute", GlesComputeRuntime, AclNetwork),
+    ("tensorflow+acl+opencl", OpenClRuntime, TensorflowNetwork),
+]
+
+
+def record_and_replay(family, runtime_cls, net_cls, model_name, seed):
+    board = "hikey960" if family == "mali" else "raspberrypi4"
+    machine = Machine.create(board, seed=seed)
+    driver = (MaliDriver if family == "mali" else V3dDriver)(machine)
+    net = net_cls(runtime_cls(driver), build_model(model_name))
+    net.configure()
+    net.run(np.zeros(net.model.input_shape, np.float32))
+    workload = record_inference(net)
+
+    replayer = Replayer(fresh_replay_machine(family, seed=seed + 1))
+    replayer.init()
+    replayer.load(workload.recording)
+    x = np.random.default_rng(seed).standard_normal(
+        net.model.input_shape).astype(np.float32)
+    result = replayer.replay(inputs={"input": x})
+    expected = run_reference(net.model, x, fuse=net.fuse)
+    assert np.array_equal(result.output,
+                          expected.reshape(result.output.shape)), \
+        f"{model_name} via {net.framework_name} diverged"
+    return workload
+
+
+@pytest.mark.parametrize("label,runtime_cls,net_cls", MALI_STACKS,
+                         ids=[s[0] for s in MALI_STACKS])
+def test_tab03_mali_stack_matrix(benchmark, label, runtime_cls, net_cls):
+    benchmark.pedantic(
+        record_and_replay,
+        args=("mali", runtime_cls, net_cls, "mnist", 700),
+        rounds=1, iterations=1)
+
+
+def test_tab03_ncnn_vulkan_on_v3d(benchmark):
+    benchmark.pedantic(
+        record_and_replay,
+        args=("v3d", VulkanRuntime, NcnnNetwork, "mnist", 710),
+        rounds=1, iterations=1)
+
+
+def test_tab03_mali_recording_roster(benchmark):
+    """The whole Mali roster records: every zoo model + 1 training +
+    2 math kernels (the paper lists 18 inference + 1 training)."""
+
+    def record_roster():
+        recordings = []
+        for model_name in MALI_FULL_ROSTER:
+            workload = record_and_replay(
+                "mali", OpenClRuntime, AclNetwork, model_name,
+                seed=720 + hash(model_name) % 50)
+            recordings.append(workload.recording)
+
+        machine = Machine.create("hikey960", seed=799)
+        trainer = DeepClTrainer(OpenClRuntime(MaliDriver(machine)),
+                                mnist_train_spec(batch=8))
+        trainer.configure()
+        recordings.append(
+            record_training_iteration(trainer).recording)
+
+        for ir_builder in (vecadd_ir, saxpy_ir):
+            workload = record_math_kernel("mali", ir_builder(4096),
+                                          "hikey960")
+            recordings.append(workload.recording)
+        return recordings
+
+    recordings = benchmark.pedantic(record_roster, rounds=1,
+                                    iterations=1)
+    assert len(recordings) == len(MALI_FULL_ROSTER) + 3
+    assert len({r.meta.workload for r in recordings}) == len(recordings)
+    # Every roster recording is small enough to ship inside an app.
+    for recording in recordings:
+        assert recording.size_zipped() < 1024 * 1024

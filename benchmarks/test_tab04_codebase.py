@@ -1,0 +1,22 @@
+"""Table 4: codebase comparison, measured over this repository.
+
+Paper shape: the replayer an app depends on is a small fraction of the
+stack it replaces; the recorder is light driver instrumentation.
+"""
+
+from repro.bench.experiments import codebase_comparison
+
+
+def test_tab04_codebase(experiment):
+    table = experiment(codebase_comparison)
+    sloc = {row["component"]: row["sloc"] for row in table.rows}
+    stack = sloc["frameworks"] + sloc["runtimes"] + sloc["drivers"]
+    # Replayer << stack (the paper's ratio is ~100x on real code; our
+    # simulated stack is compact, so assert the direction + margin).
+    assert stack > 2 * sloc["replayer"]
+    # Recorder instrumentation is lighter than the driver it taps
+    # ("no more than 1K SLoC per GPU family", §3.1).
+    assert sloc["recorder"] < sloc["drivers"]
+    sides = {row["component"]: row["side"] for row in table.rows}
+    assert sides["replayer"] == "ours"
+    assert sides["drivers"] == "original stack"

@@ -1,0 +1,86 @@
+#!/usr/bin/env python3
+"""Deployment D2: private inference inside TrustZone.
+
+The replayer runs in the secure world behind a secure monitor; the
+normal world keeps the full GPU stack for ordinary apps. Sensitive
+input (say, a health-sensor window) never leaves the TEE: the secure
+monitor maps the GPU registers/memory into the secure world for the
+replay, then hands the GPU back.
+"""
+
+import numpy as np
+
+from repro.core import record_inference
+from repro.environments import SecureMonitor, TeeEnvironment
+from repro.environments.tee import NORMAL_WORLD, SECURE_WORLD
+from repro.errors import EnvironmentError_
+from repro.soc import Machine
+from repro.stack.driver import MaliDriver
+from repro.stack.framework import AclNetwork, build_model
+from repro.stack.reference import run_reference
+from repro.stack.runtime import OpenClRuntime
+
+
+def main():
+    print("== development: record the health-activity model ==")
+    dev = Machine.create("hikey960", seed=3)
+    network = AclNetwork(OpenClRuntime(MaliDriver(dev)),
+                         build_model("har"), fuse=True)
+    network.configure()
+    network.run(np.zeros(network.model.input_shape, np.float32))
+    workload = record_inference(network)
+    print(f"  {workload.recording.meta.n_jobs} jobs, "
+          f"{workload.recording.size_zipped() / 1024:.0f} KB zipped")
+
+    print("\n== phone: replayer inside the secure world (OP-TEE) ==")
+    phone = Machine.create("hikey960", seed=404)
+    monitor = SecureMonitor(phone)
+    env = TeeEnvironment(phone, monitor)
+    env.setup()
+    env.load(workload.recording)
+    print(f"  TEE setup: {env.setup_ns / 1e6:.2f} ms; GPU mapped to the "
+          f"{monitor.gpu_owner} world")
+    tcb = env.tcb()
+    print(f"  TCB: {', '.join(tcb.trusted_components)} "
+          f"({tcb.replayer_binary_bytes / 1024:.0f} KB replayer TA)")
+
+    model = build_model("har")
+    rng = np.random.default_rng(5)
+    sensor_window = rng.standard_normal(model.input_shape).astype(
+        np.float32)
+    result = env.replay(inputs={"input": sensor_window})
+    expected = run_reference(model, sensor_window, fuse=True)
+    assert np.array_equal(result.output,
+                          expected.reshape(result.output.shape))
+    print(f"  secure inference: activity class "
+          f"{int(result.output.argmax())} in "
+          f"{result.duration_ns / 1e6:.2f} ms virtual "
+          f"({monitor.switch_count} world switches so far)")
+
+    print("\n== an interactive app in the normal world wants the GPU ==")
+    delay = env.yield_gpu_to_normal_world()
+    print(f"  GPU yielded in {delay / 1e6:.3f} ms "
+          f"(paper: below 1 ms); owner is now the "
+          f"{monitor.gpu_owner} world")
+    assert monitor.gpu_owner == NORMAL_WORLD
+
+    # While the normal world owns the GPU, the monitor blocks the TEE.
+    try:
+        env.replay(inputs={"input": sensor_window})
+        raise AssertionError("monitor failed to block the secure world!")
+    except EnvironmentError_ as error:
+        print(f"  monitor enforces ownership: {error}")
+
+    print("\n== the normal-world app is done; TEE reclaims the GPU ==")
+    env.reclaim_gpu()
+    assert monitor.gpu_owner == SECURE_WORLD
+    result = env.replay(inputs={"input": sensor_window})
+    assert np.array_equal(result.output,
+                          expected.reshape(result.output.shape))
+    print(f"  secure inference resumed: class "
+          f"{int(result.output.argmax())}")
+    print("\nTEE private inference OK.")
+
+
+if __name__ == "__main__":
+    main()

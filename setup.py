@@ -1,0 +1,19 @@
+"""Legacy setup shim.
+
+Kept so `pip install -e . --no-build-isolation --no-use-pep517` works
+in offline environments whose setuptools lacks the `wheel` package
+(PEP-517 editable installs need `bdist_wheel`). Normal environments
+can ignore this file; pyproject.toml is authoritative.
+"""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    install_requires=["numpy"],
+    python_requires=">=3.9",
+    entry_points={"console_scripts": ["grr = repro.tools.grr:main"]},
+)

@@ -1,0 +1,46 @@
+"""GPUReplay reproduction: a record-and-replay GPU stack for client ML.
+
+This package reproduces the system described in "GPUReplay: A 50-KB GPU
+Stack for Client ML" (Park & Lin, ASPLOS 2022) on top of a simulated SoC.
+
+Layering (bottom-up):
+
+- :mod:`repro.soc` -- the SoC substrate: virtual clock, physical memory,
+  MMIO, interrupts, power/clock domains, firmware, boards.
+- :mod:`repro.gpu` -- register-level GPU device models (Mali-like and
+  v3d-like), GPU MMU and page tables, a shader bytecode ISA executed with
+  numpy, and job-binary formats.
+- :mod:`repro.stack` -- the *original* full GPU software stack that
+  GPUReplay replaces: drivers, JIT runtimes and ML frameworks.
+- :mod:`repro.core` -- GPUReplay itself: the recorder, recordings, the
+  verifier and the replayer.
+- :mod:`repro.environments` -- deployment environments for the replayer
+  (userspace, kernel, TEE, baremetal) and GPU handoff scheduling.
+- :mod:`repro.analysis` -- security/codebase analysis used by the
+  evaluation.
+- :mod:`repro.bench` -- the experiment harness regenerating every table
+  and figure of the paper's evaluation.
+"""
+
+from repro.errors import (
+    GpuFault,
+    RecordingError,
+    ReplayDivergence,
+    ReplayError,
+    ReplayTimeout,
+    ReproError,
+    VerificationError,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "GpuFault",
+    "RecordingError",
+    "ReplayDivergence",
+    "ReplayError",
+    "ReplayTimeout",
+    "ReproError",
+    "VerificationError",
+    "__version__",
+]

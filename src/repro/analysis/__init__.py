@@ -1,0 +1,25 @@
+"""Security and codebase analysis backing the evaluation's Section 7.1.
+
+- :mod:`repro.analysis.cves` -- the CVE corpus of Table 5 and its
+  mapping onto GR's design levers and deployment scenarios;
+- :mod:`repro.analysis.codebase` -- SLoC/size accounting over this
+  repository, regenerating the Table 4 comparison;
+- :mod:`repro.analysis.security` -- executable attack simulations
+  against the replayer's verified surface.
+"""
+
+from repro.analysis.cves import (CVE_CORPUS, CveEntry, eliminated_cves,
+                                 eliminated_fraction)
+from repro.analysis.codebase import CodebaseReport, analyze_codebase
+from repro.analysis.security import AttackResult, run_attack_suite
+
+__all__ = [
+    "AttackResult",
+    "CVE_CORPUS",
+    "CodebaseReport",
+    "CveEntry",
+    "analyze_codebase",
+    "eliminated_cves",
+    "eliminated_fraction",
+    "run_attack_suite",
+]

@@ -1,0 +1,103 @@
+"""The CVE corpus of Table 5 and its mapping to GR's design.
+
+Each entry records which design lever eliminates it (removing the GPU
+runtime from the app, removing the GPU driver, or disabling
+fine-grained GPU sharing) and in which deployment scenarios (D1-D3)
+that lever is active.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+DEPLOYMENTS = ("D1", "D2", "D3")
+
+#: Design levers and the deployments where each applies (Table 5 rows).
+LEVER_DEPLOYMENTS: Dict[str, Tuple[str, ...]] = {
+    "remove-runtime": ("D1", "D2", "D3"),
+    "remove-driver": ("D2", "D3"),
+    "disable-sharing": ("D1", "D2"),
+}
+
+
+@dataclass(frozen=True)
+class CveEntry:
+    """One CVE row of Table 5."""
+
+    cve_id: str
+    severity: str
+    description: str
+    effect: str
+    #: App./Kernel./GPU. x I/C/A classification from the table.
+    vulnerability: str
+    #: Which GR design lever eliminates it.
+    lever: str
+
+
+CVE_CORPUS: List[CveEntry] = [
+    CveEntry("CVE-2014-1376", "High",
+             "Improper restriction of OpenCL calls",
+             "Arbitrary code execution", "App.I", "remove-runtime"),
+    CveEntry("CVE-2019-5068", "Medium",
+             "Exploitable shared memory permissions",
+             "Unauthorized mem access", "App.C", "remove-runtime"),
+    CveEntry("CVE-2018-6253", "Medium",
+             "Malformed shaders cause infinite recursion",
+             "App hang", "App.A/GPU.A", "remove-runtime"),
+    CveEntry("CVE-2017-18643", "High",
+             "Leak of GPU context address of GPU mem region",
+             "Sensitive info disclosure", "Kernel.C", "remove-driver"),
+    CveEntry("CVE-2019-20577", "High",
+             "Invalid address mapping of GPU buffer",
+             "Kernel crash", "Kernel.I", "remove-driver"),
+    CveEntry("CVE-2020-11179", "High",
+             "Race condition by overwriting ring buffer",
+             "Arbitrary kernel mem r/w", "Kernel.I", "remove-driver"),
+    CveEntry("CVE-2019-10520", "Medium",
+             "Continuous GPU mem allocating via IOCTL",
+             "GPU mem exhausted", "Kernel.A", "remove-driver"),
+    CveEntry("CVE-2014-0972", "N/A",
+             "Lack of write protection for IOMMU page table",
+             "Kernel mem corruption", "Kernel.I", "remove-driver"),
+    CveEntry("CVE-2019-14615", "Medium",
+             "Learning app's secret from GPU register file",
+             "App data leak", "App.C", "disable-sharing"),
+]
+
+
+def eliminated_cves(deployment: str) -> List[CveEntry]:
+    """CVEs a given deployment scenario eliminates."""
+    if deployment not in DEPLOYMENTS:
+        raise ValueError(f"unknown deployment {deployment!r}; "
+                         f"expected one of {DEPLOYMENTS}")
+    return [entry for entry in CVE_CORPUS
+            if deployment in LEVER_DEPLOYMENTS[entry.lever]]
+
+
+def eliminated_fraction(deployment: str) -> float:
+    return len(eliminated_cves(deployment)) / len(CVE_CORPUS)
+
+
+def by_lever() -> Dict[str, List[CveEntry]]:
+    out: Dict[str, List[CveEntry]] = {lever: [] for lever in
+                                      LEVER_DEPLOYMENTS}
+    for entry in CVE_CORPUS:
+        out[entry.lever].append(entry)
+    return out
+
+
+def table5_rows() -> List[Dict[str, str]]:
+    """Rows in the paper's Table 5 layout."""
+    return [
+        {
+            "design": entry.lever,
+            "deployments": "/".join(LEVER_DEPLOYMENTS[entry.lever]),
+            "cve": entry.cve_id,
+            "severity": entry.severity,
+            "description": entry.description,
+            "effect": entry.effect,
+            "vulnerability": entry.vulnerability,
+        }
+        for entry in CVE_CORPUS
+    ]

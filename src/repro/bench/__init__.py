@@ -1,0 +1,24 @@
+"""The experiment harness regenerating the paper's evaluation.
+
+- :mod:`repro.bench.workloads` -- stack/workload builders and the
+  Table 6 model sets;
+- :mod:`repro.bench.harness` -- result tables and a recording cache;
+- :mod:`repro.bench.experiments` -- one function per paper table or
+  figure, each returning a :class:`~repro.bench.harness.ResultTable`.
+"""
+
+from repro.bench.harness import ResultTable, clear_recording_cache
+from repro.bench.workloads import (MALI_INFERENCE_SET, V3D_INFERENCE_SET,
+                                   build_stack, fresh_replay_machine,
+                                   get_recorded, vecadd_ir)
+
+__all__ = [
+    "MALI_INFERENCE_SET",
+    "ResultTable",
+    "V3D_INFERENCE_SET",
+    "build_stack",
+    "clear_recording_cache",
+    "fresh_replay_machine",
+    "get_recorded",
+    "vecadd_ir",
+]

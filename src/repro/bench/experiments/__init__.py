@@ -1,0 +1,41 @@
+"""One module per table/figure of the paper's evaluation.
+
+Every function returns a :class:`~repro.bench.harness.ResultTable`
+whose rows regenerate what the paper reports; the benchmark suite in
+``benchmarks/`` prints them and asserts the *shape* claims (who wins,
+by roughly what factor, where crossovers fall).
+"""
+
+from repro.bench.experiments.fig03 import sync_submission_overhead
+from repro.bench.experiments.fig05 import interaction_intervals
+from repro.bench.experiments.fig06 import startup_delays
+from repro.bench.experiments.fig07 import inference_delays
+from repro.bench.experiments.fig08 import training_delays
+from repro.bench.experiments.fig09 import cross_gpu_replay
+from repro.bench.experiments.fig10 import skip_interval_ablation
+from repro.bench.experiments.fig11 import recording_granularity
+from repro.bench.experiments.tab04 import codebase_comparison
+from repro.bench.experiments.tab05 import cve_elimination
+from repro.bench.experiments.tab06 import recording_stats
+from repro.bench.experiments.s72 import validation_suite
+from repro.bench.experiments.s73 import cpu_memory
+from repro.bench.experiments.s75 import (checkpoint_tradeoff,
+                                         preemption_delays)
+
+__all__ = [
+    "checkpoint_tradeoff",
+    "codebase_comparison",
+    "cpu_memory",
+    "cross_gpu_replay",
+    "cve_elimination",
+    "inference_delays",
+    "interaction_intervals",
+    "preemption_delays",
+    "recording_granularity",
+    "recording_stats",
+    "skip_interval_ablation",
+    "startup_delays",
+    "sync_submission_overhead",
+    "training_delays",
+    "validation_suite",
+]

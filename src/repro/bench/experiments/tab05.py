@@ -1,0 +1,40 @@
+"""Table 5: CVEs in the GPU stack that GR eliminates.
+
+Regenerates the table from the corpus and *executes* the attack suite
+against the replayer to demonstrate the claimed defenses hold in code,
+not just in prose.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.cves import (CVE_CORPUS, LEVER_DEPLOYMENTS,
+                                 eliminated_cves, table5_rows)
+from repro.analysis.security import run_attack_suite
+from repro.bench.harness import ResultTable
+from repro.soc.machine import Machine
+
+
+def cve_elimination() -> ResultTable:
+    table = ResultTable(
+        "Table 5: GPU-stack CVEs eliminated by GR",
+        ["design", "deployments", "cve", "severity", "effect",
+         "vulnerability"])
+    for row in table5_rows():
+        table.add_row(design=row["design"],
+                      deployments=row["deployments"],
+                      cve=row["cve"],
+                      severity=row["severity"],
+                      effect=row["effect"],
+                      vulnerability=row["vulnerability"])
+    for deployment in ("D1", "D2", "D3"):
+        n = len(eliminated_cves(deployment))
+        table.notes.append(
+            f"{deployment}: eliminates {n}/{len(CVE_CORPUS)} corpus CVEs")
+
+    results = run_attack_suite(
+        lambda: Machine.create("hikey960", seed=12345))
+    blocked = sum(1 for r in results if r.blocked)
+    table.notes.append(
+        f"attack suite: {blocked}/{len(results)} fabricated-recording "
+        "attacks defeated by the replayer's defenses")
+    return table

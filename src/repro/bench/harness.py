@@ -1,0 +1,87 @@
+"""Experiment plumbing: result tables and a recording cache.
+
+Recordings are expensive to produce (a full stack bring-up plus a
+taint-instrumented run), and many experiments share them; the cache
+keys them by (board, model, fuse, granularity) so the whole benchmark
+suite records each workload once.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+
+@dataclass
+class ResultTable:
+    """One regenerated table/figure: rows of named values."""
+
+    title: str
+    columns: Sequence[str]
+    rows: List[Dict[str, object]] = field(default_factory=list)
+    notes: List[str] = field(default_factory=list)
+
+    def add_row(self, **values: object) -> None:
+        missing = [c for c in self.columns if c not in values]
+        if missing:
+            raise ValueError(f"{self.title}: row missing columns {missing}")
+        self.rows.append(values)
+
+    def column(self, name: str) -> List[object]:
+        return [row[name] for row in self.rows]
+
+    def row_for(self, key_column: str, key: object) -> Dict[str, object]:
+        for row in self.rows:
+            if row[key_column] == key:
+                return row
+        raise KeyError(f"{self.title}: no row with {key_column}={key!r}")
+
+    def render(self) -> str:
+        """Plain-text rendering (what the bench harness prints)."""
+        widths = {c: len(c) for c in self.columns}
+        rendered_rows = []
+        for row in self.rows:
+            rendered = {}
+            for c in self.columns:
+                value = row[c]
+                if isinstance(value, float):
+                    text = f"{value:.3f}"
+                else:
+                    text = str(value)
+                rendered[c] = text
+                widths[c] = max(widths[c], len(text))
+            rendered_rows.append(rendered)
+        lines = [self.title,
+                 "  ".join(c.ljust(widths[c]) for c in self.columns),
+                 "  ".join("-" * widths[c] for c in self.columns)]
+        for rendered in rendered_rows:
+            lines.append("  ".join(rendered[c].ljust(widths[c])
+                                   for c in self.columns))
+        for note in self.notes:
+            lines.append(f"note: {note}")
+        return "\n".join(lines)
+
+
+#: (board, model, fuse, granularity) -> (RecordedWorkload, stack info)
+_RECORDING_CACHE: Dict[tuple, object] = {}
+
+
+def cached(key: tuple, produce: Callable[[], object]) -> object:
+    value = _RECORDING_CACHE.get(key)
+    if value is None:
+        value = produce()
+        _RECORDING_CACHE[key] = value
+    return value
+
+
+def clear_recording_cache() -> None:
+    _RECORDING_CACHE.clear()
+
+
+def geomean(values: Sequence[float]) -> float:
+    if not values:
+        return 0.0
+    product = 1.0
+    for v in values:
+        product *= v
+    return product ** (1.0 / len(values))

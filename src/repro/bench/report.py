@@ -1,0 +1,61 @@
+"""Regenerate the paper's full evaluation in one run.
+
+Usage::
+
+    python -m repro.bench.report            # everything
+    python -m repro.bench.report fig07 tab06  # a subset
+
+Prints every table/figure with its paper-expectation note. This is the
+source of the numbers recorded in EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import sys
+from typing import Callable, Dict, List
+
+from repro.bench import experiments as exp
+
+EXPERIMENTS: Dict[str, Callable[[], object]] = {
+    "fig03": exp.sync_submission_overhead,
+    "fig05": exp.interaction_intervals,
+    "fig06-mali": lambda: exp.startup_delays("mali"),
+    "fig06-v3d": lambda: exp.startup_delays("v3d"),
+    "fig07-mali": lambda: exp.inference_delays("mali"),
+    "fig07-v3d": lambda: exp.inference_delays("v3d"),
+    "fig08": exp.training_delays,
+    "fig09": exp.cross_gpu_replay,
+    "fig10": exp.skip_interval_ablation,
+    "fig11": exp.recording_granularity,
+    "tab04": exp.codebase_comparison,
+    "tab05": exp.cve_elimination,
+    "tab06-mali": lambda: exp.recording_stats("mali"),
+    "tab06-v3d": lambda: exp.recording_stats("v3d"),
+    "s72": exp.validation_suite,
+    "s73": exp.cpu_memory,
+    "s75-preempt": exp.preemption_delays,
+    "s75-checkpoint": exp.checkpoint_tradeoff,
+}
+
+
+def run(names: List[str]) -> None:
+    selected = names or list(EXPERIMENTS)
+    for name in selected:
+        prefix_matches = [key for key in EXPERIMENTS
+                          if key == name or key.startswith(name)]
+        if not prefix_matches:
+            print(f"unknown experiment {name!r}; "
+                  f"known: {', '.join(EXPERIMENTS)}")
+            continue
+        for key in prefix_matches:
+            table = EXPERIMENTS[key]()
+            print(f"\n[{key}]")
+            print(table.render())
+
+
+def main() -> None:
+    run(sys.argv[1:])
+
+
+if __name__ == "__main__":
+    main()

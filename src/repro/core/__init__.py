@@ -1,0 +1,35 @@
+"""GPUReplay itself: record, verify, replay.
+
+- :mod:`repro.core.actions` -- the replay actions of Table 2;
+- :mod:`repro.core.recording` -- the recording container and its
+  compressed on-disk format;
+- :mod:`repro.core.recorder` -- the in-driver recorder (Section 4);
+- :mod:`repro.core.taint` -- magic-value input/output discovery;
+- :mod:`repro.core.harness` -- the developer-facing record harness;
+- :mod:`repro.core.verifier` -- static security verification (§5.1);
+- :mod:`repro.core.nano_driver` -- the ~600-SLoC-equivalent GPU access
+  layer (§5.2);
+- :mod:`repro.core.interpreter` / ``replayer`` -- action execution,
+  pacing, failure detection/recovery, checkpointing, preemption;
+- :mod:`repro.core.patching` -- cross-SKU recording patches (§6.4).
+"""
+
+from repro.core.harness import (RecordedWorkload, record_inference,
+                                record_training_iteration)
+from repro.core.recorder import GpuRecorder, RecorderOptions
+from repro.core.recording import Recording, RecordingMeta
+from repro.core.replayer import Replayer, ReplayResult
+from repro.core.verifier import verify_recording
+
+__all__ = [
+    "GpuRecorder",
+    "RecordedWorkload",
+    "Recording",
+    "RecordingMeta",
+    "RecorderOptions",
+    "ReplayResult",
+    "Replayer",
+    "record_inference",
+    "record_training_iteration",
+    "verify_recording",
+]

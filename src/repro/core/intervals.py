@@ -1,0 +1,69 @@
+"""Interval analysis helpers (Sections 4.5, 7.5; Figures 5 and 10).
+
+Works over the :class:`~repro.core.recorder.IntervalSample` stream a
+recorder produces and over finished recordings, answering: how much
+record-time wall clock sat between CPU/GPU interactions, how much of
+it the GPU-idle heuristic proved skippable, and how that accumulates
+per GPU job.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+from repro.core.recorder import IntervalSample
+from repro.core.recording import Recording
+
+
+@dataclass
+class IntervalStats:
+    """Aggregate interval accounting for one recording run."""
+
+    total_ns: int
+    skippable_ns: int
+    preserved_ns: int
+    skippable_count: int
+    preserved_count: int
+
+    @property
+    def skippable_fraction(self) -> float:
+        return self.skippable_ns / self.total_ns if self.total_ns else 0.0
+
+
+def summarize(samples: Sequence[IntervalSample]) -> IntervalStats:
+    total = sum(s.dt_ns for s in samples)
+    skippable = sum(s.dt_ns for s in samples if s.skippable)
+    return IntervalStats(
+        total_ns=total,
+        skippable_ns=skippable,
+        preserved_ns=total - skippable,
+        skippable_count=sum(1 for s in samples if s.skippable),
+        preserved_count=sum(1 for s in samples if not s.skippable),
+    )
+
+
+def accumulate_by_job(samples: Sequence[IntervalSample]
+                      ) -> Dict[int, int]:
+    """Per-job accumulated interval time (the Figure 5 series)."""
+    out: Dict[int, int] = {}
+    for sample in samples:
+        out[sample.job_index] = out.get(sample.job_index, 0) + sample.dt_ns
+    return out
+
+
+def recorded_vs_paced(recording: Recording) -> IntervalStats:
+    """Interval accounting straight from a recording's actions."""
+    total = sum(a.recorded_interval_ns for a in recording.actions)
+    preserved = sum(a.min_interval_ns for a in recording.actions)
+    skippable = total - preserved
+    return IntervalStats(
+        total_ns=total,
+        skippable_ns=skippable,
+        preserved_ns=preserved,
+        skippable_count=sum(
+            1 for a in recording.actions
+            if a.recorded_interval_ns and not a.min_interval_ns),
+        preserved_count=sum(
+            1 for a in recording.actions if a.min_interval_ns),
+    )

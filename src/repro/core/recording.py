@@ -1,0 +1,402 @@
+"""The recording container and its compressed binary file format.
+
+A recording encodes a fixed sequence of GPU jobs: replay actions plus
+the memory dumps they upload, and metadata describing the GPU it was
+captured on and the workload's input/output interface. Files are
+zlib-compressed (Section 6.2), giving the few-hundred-KB sizes of
+Table 6.
+
+Format (little-endian): a 10-byte plain header (magic, version,
+flags), then the zlib-compressed body: metadata, string table,
+actions, dumps. The format is deliberately self-contained -- the
+replayer needs nothing else.
+"""
+
+from __future__ import annotations
+
+import struct
+import zlib
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.core import actions as act
+from repro.core.dumps import MemoryDump
+from repro.errors import SerializationError
+from repro.soc.memory import PAGE_SIZE
+
+MAGIC = b"GRRC"
+VERSION = 1
+
+
+@dataclass(frozen=True)
+class IoBuffer:
+    """An input or output interface of a recording (Section 4.4).
+
+    ``optional`` marks inputs the app *may* supply (the "record by
+    address + optional value override" pattern): e.g. training weights
+    are deposited before the first iteration and then live in GPU
+    memory across replays.
+    """
+
+    name: str
+    gaddr: int
+    size: int
+    shape: Tuple[int, ...] = ()
+    optional: bool = False
+
+
+@dataclass
+class RecordingMeta:
+    """Provenance and interface metadata."""
+
+    gpu_model: str = ""
+    family: str = ""
+    pte_format: str = ""
+    board: str = ""
+    workload: str = ""
+    api: str = ""
+    framework: str = ""
+    memattr: int = 0
+    n_jobs: int = 0
+    reg_io: int = 0
+    #: Actions before this index set up the address space; input
+    #: deposit happens right after them.
+    prologue_len: int = 0
+    inputs: List[IoBuffer] = field(default_factory=list)
+    outputs: List[IoBuffer] = field(default_factory=list)
+    #: Firmware power/clock calls needed before MMIO works (baremetal).
+    power_sequence: List[Tuple[int, int, int]] = field(default_factory=list)
+
+
+class Recording:
+    """Actions + dumps + metadata for one recorded GPU phase."""
+
+    def __init__(self, meta: RecordingMeta,
+                 actions: List[act.Action],
+                 dumps: List[MemoryDump]):
+        self.meta = meta
+        self.actions = actions
+        self.dumps = dumps
+
+    # -- accounting ---------------------------------------------------------
+
+    def dump_bytes(self) -> int:
+        return sum(d.size for d in self.dumps)
+
+    def peak_gpu_pages(self) -> int:
+        """Maximum concurrently-mapped GPU pages across the action stream.
+
+        This is the §5.1 "maximum GPU physical memory usage" scan that
+        lets apps reject memory-hungry recordings before replay.
+        """
+        live: Dict[int, int] = {}
+        peak = 0
+        for action in self.actions:
+            if isinstance(action, act.MapGpuMem):
+                live[action.addr] = action.num_pages
+                peak = max(peak, sum(live.values()))
+            elif isinstance(action, act.UnmapGpuMem):
+                live.pop(action.addr, None)
+        return peak
+
+    def summary(self) -> Dict[str, object]:
+        return {
+            "workload": self.meta.workload,
+            "gpu": self.meta.gpu_model,
+            "jobs": self.meta.n_jobs,
+            "actions": len(self.actions),
+            "reg_io": self.meta.reg_io,
+            "dump_bytes": self.dump_bytes(),
+            "gpu_mem_bytes": self.peak_gpu_pages() * PAGE_SIZE,
+        }
+
+    # -- serialization ---------------------------------------------------------
+
+    def to_bytes(self, compress: bool = True) -> bytes:
+        body = _encode_body(self)
+        flags = 1 if compress else 0
+        if compress:
+            body = zlib.compress(body, level=6)
+        return MAGIC + struct.pack("<HI", VERSION, flags) + body
+
+    @classmethod
+    def from_bytes(cls, blob: bytes) -> "Recording":
+        if len(blob) < 10 or blob[:4] != MAGIC:
+            raise SerializationError("not a GPUReplay recording")
+        version, flags = struct.unpack_from("<HI", blob, 4)
+        if version != VERSION:
+            raise SerializationError(f"unsupported version {version}")
+        body = blob[10:]
+        if flags & 1:
+            try:
+                body = zlib.decompress(body)
+            except zlib.error as exc:
+                raise SerializationError(f"corrupt recording: {exc}")
+        return _decode_body(body)
+
+    def save(self, path: str, compress: bool = True) -> int:
+        data = self.to_bytes(compress)
+        with open(path, "wb") as f:
+            f.write(data)
+        return len(data)
+
+    @classmethod
+    def load(cls, path: str) -> "Recording":
+        with open(path, "rb") as f:
+            return cls.from_bytes(f.read())
+
+    def size_unzipped(self) -> int:
+        return len(self.to_bytes(compress=False))
+
+    def size_zipped(self) -> int:
+        return len(self.to_bytes(compress=True))
+
+
+# --------------------------------------------------------------------------
+# Binary body encoding.
+# --------------------------------------------------------------------------
+
+
+class _Writer:
+    def __init__(self) -> None:
+        self.parts: List[bytes] = []
+        self._strings: Dict[str, int] = {}
+        self.string_list: List[str] = []
+
+    def intern(self, s: str) -> int:
+        index = self._strings.get(s)
+        if index is None:
+            index = len(self.string_list)
+            self._strings[s] = index
+            self.string_list.append(s)
+        return index
+
+    def u8(self, v: int) -> None:
+        self.parts.append(struct.pack("<B", v))
+
+    def u16(self, v: int) -> None:
+        self.parts.append(struct.pack("<H", v))
+
+    def u32(self, v: int) -> None:
+        self.parts.append(struct.pack("<I", v))
+
+    def u64(self, v: int) -> None:
+        self.parts.append(struct.pack("<Q", v))
+
+    def raw(self, b: bytes) -> None:
+        self.parts.append(b)
+
+    def string(self, s: str) -> None:
+        encoded = s.encode("utf-8")
+        self.u16(len(encoded))
+        self.raw(encoded)
+
+    def getvalue(self) -> bytes:
+        return b"".join(self.parts)
+
+
+class _Reader:
+    def __init__(self, data: bytes):
+        self.data = data
+        self.pos = 0
+        self.strings: List[str] = []
+
+    def _unpack(self, fmt: str):
+        size = struct.calcsize(fmt)
+        if self.pos + size > len(self.data):
+            raise SerializationError("truncated recording body")
+        value = struct.unpack_from(fmt, self.data, self.pos)[0]
+        self.pos += size
+        return value
+
+    def u8(self) -> int:
+        return self._unpack("<B")
+
+    def u16(self) -> int:
+        return self._unpack("<H")
+
+    def u32(self) -> int:
+        return self._unpack("<I")
+
+    def u64(self) -> int:
+        return self._unpack("<Q")
+
+    def raw(self, n: int) -> bytes:
+        if self.pos + n > len(self.data):
+            raise SerializationError("truncated recording body")
+        out = self.data[self.pos:self.pos + n]
+        self.pos += n
+        return out
+
+    def string(self) -> str:
+        return self.raw(self.u16()).decode("utf-8")
+
+    def ref(self) -> str:
+        index = self.u32()
+        if index >= len(self.strings):
+            raise SerializationError(f"bad string ref {index}")
+        return self.strings[index]
+
+
+def _encode_io(w: _Writer, buffers: List[IoBuffer]) -> None:
+    w.u16(len(buffers))
+    for b in buffers:
+        w.string(b.name)
+        w.u64(b.gaddr)
+        w.u64(b.size)
+        w.u8(len(b.shape))
+        for dim in b.shape:
+            w.u32(dim)
+        w.u8(1 if b.optional else 0)
+
+
+def _decode_io(r: _Reader) -> List[IoBuffer]:
+    out = []
+    for _ in range(r.u16()):
+        name = r.string()
+        gaddr = r.u64()
+        size = r.u64()
+        shape = tuple(r.u32() for _ in range(r.u8()))
+        optional = bool(r.u8())
+        out.append(IoBuffer(name, gaddr, size, shape, optional))
+    return out
+
+
+def _encode_body(rec: Recording) -> bytes:
+    meta = rec.meta
+    w = _Writer()
+    for s in (meta.gpu_model, meta.family, meta.pte_format, meta.board,
+              meta.workload, meta.api, meta.framework):
+        w.string(s)
+    w.u32(meta.memattr)
+    w.u32(meta.n_jobs)
+    w.u32(meta.reg_io)
+    w.u32(meta.prologue_len)
+    _encode_io(w, meta.inputs)
+    _encode_io(w, meta.outputs)
+    w.u16(len(meta.power_sequence))
+    for tag, dev, val in meta.power_sequence:
+        w.u32(tag)
+        w.u32(dev)
+        w.u64(val)
+
+    # Actions (string table written afterwards, referenced by index).
+    aw = _Writer()
+    aw.u32(len(rec.actions))
+    for action in rec.actions:
+        tag = act.ACTION_TAGS.get(type(action))
+        if tag is None:
+            raise SerializationError(
+                f"unserializable action {type(action).__name__}")
+        aw.u8(tag)
+        aw.u64(action.min_interval_ns)
+        aw.u64(action.recorded_interval_ns)
+        aw.u32(aw.intern(action.src))
+        aw.u32(action.job_index)
+        if isinstance(action, act.RegReadOnce):
+            aw.u32(aw.intern(action.reg))
+            aw.u64(action.val)
+            aw.u8(1 if action.ignore else 0)
+        elif isinstance(action, act.RegReadWait):
+            aw.u32(aw.intern(action.reg))
+            aw.u64(action.mask)
+            aw.u64(action.val)
+            aw.u64(action.timeout_ns)
+        elif isinstance(action, act.RegWrite):
+            aw.u32(aw.intern(action.reg))
+            aw.u64(action.mask)
+            aw.u64(action.val)
+            aw.u8(1 if action.is_job_kick else 0)
+        elif isinstance(action, act.SetGpuPgtable):
+            aw.u64(action.memattr)
+        elif isinstance(action, act.MapGpuMem):
+            aw.u64(action.addr)
+            aw.u32(action.num_pages)
+            aw.u64(action.raw_pte_flags)
+        elif isinstance(action, act.UnmapGpuMem):
+            aw.u64(action.addr)
+            aw.u32(action.num_pages)
+        elif isinstance(action, act.Upload):
+            aw.u64(action.addr)
+            aw.u32(action.dump_index)
+        elif isinstance(action, (act.CopyToGpu, act.CopyFromGpu)):
+            aw.u64(action.gaddr)
+            aw.u64(action.size)
+            aw.u32(aw.intern(action.buffer_name))
+        elif isinstance(action, act.WaitIrq):
+            aw.u64(action.timeout_ns)
+        # IrqEnter / IrqExit carry no extra fields.
+
+    w.u32(len(aw.string_list))
+    for s in aw.string_list:
+        w.string(s)
+    w.raw(aw.getvalue())
+
+    w.u32(len(rec.dumps))
+    for dump in rec.dumps:
+        w.u64(dump.va)
+        w.u32(len(dump.data))
+        w.raw(dump.data)
+    return w.getvalue()
+
+
+def _decode_body(data: bytes) -> Recording:
+    r = _Reader(data)
+    meta = RecordingMeta()
+    (meta.gpu_model, meta.family, meta.pte_format, meta.board,
+     meta.workload, meta.api, meta.framework) = (r.string()
+                                                 for _ in range(7))
+    meta.memattr = r.u32()
+    meta.n_jobs = r.u32()
+    meta.reg_io = r.u32()
+    meta.prologue_len = r.u32()
+    meta.inputs = _decode_io(r)
+    meta.outputs = _decode_io(r)
+    meta.power_sequence = [
+        (r.u32(), r.u32(), r.u64()) for _ in range(r.u16())]
+
+    r.strings = [r.string() for _ in range(r.u32())]
+    actions: List[act.Action] = []
+    for _ in range(r.u32()):
+        tag = r.u8()
+        if tag >= len(act.ACTION_TYPES):
+            raise SerializationError(f"unknown action tag {tag}")
+        cls = act.ACTION_TYPES[tag]
+        common = {
+            "min_interval_ns": r.u64(),
+            "recorded_interval_ns": r.u64(),
+            "src": r.ref(),
+            "job_index": r.u32(),
+        }
+        if cls is act.RegReadOnce:
+            action = cls(reg=r.ref(), val=r.u64(), ignore=bool(r.u8()),
+                         **common)
+        elif cls is act.RegReadWait:
+            action = cls(reg=r.ref(), mask=r.u64(), val=r.u64(),
+                         timeout_ns=r.u64(), **common)
+        elif cls is act.RegWrite:
+            action = cls(reg=r.ref(), mask=r.u64(), val=r.u64(),
+                         is_job_kick=bool(r.u8()), **common)
+        elif cls is act.SetGpuPgtable:
+            action = cls(memattr=r.u64(), **common)
+        elif cls is act.MapGpuMem:
+            action = cls(addr=r.u64(), num_pages=r.u32(),
+                         raw_pte_flags=r.u64(), **common)
+        elif cls is act.UnmapGpuMem:
+            action = cls(addr=r.u64(), num_pages=r.u32(), **common)
+        elif cls is act.Upload:
+            action = cls(addr=r.u64(), dump_index=r.u32(), **common)
+        elif cls in (act.CopyToGpu, act.CopyFromGpu):
+            action = cls(gaddr=r.u64(), size=r.u64(),
+                         buffer_name=r.ref(), **common)
+        elif cls is act.WaitIrq:
+            action = cls(timeout_ns=r.u64(), **common)
+        else:
+            action = cls(**common)
+        actions.append(action)
+
+    dumps = []
+    for _ in range(r.u32()):
+        va = r.u64()
+        dumps.append(MemoryDump(va, r.raw(r.u32())))
+    return Recording(meta, actions, dumps)

@@ -1,0 +1,351 @@
+"""The replayer facade: Init / Load / Replay (Section 5).
+
+Composes the static verifier, the interpreter and the nano driver, and
+adds the run-time policies of Sections 5.3/5.4:
+
+- failure recovery by re-execution, then re-execution with injected
+  delays around the failing action, then a meaningful error naming the
+  failed action and its full-driver source location;
+- optional checkpointing and preemption (flush + soft reset, resume by
+  checkpoint restore or whole re-execution);
+- replay *sessions*: consecutive recordings (per-layer chains) share
+  the GPU address space, so intermediates flow through GPU memory.
+"""
+
+from __future__ import annotations
+
+import zlib
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.checkpoints import CheckpointManager, CheckpointPolicy
+from repro.core.interpreter import (InterpreterOptions, InterpreterStats,
+                                    ReplayInterpreter)
+from repro.core.nano_driver import NanoGpuDriver
+from repro.core.recording import Recording
+from repro.core.verifier import VerificationReport, verify_recording
+from repro.errors import ReplayAborted, ReplayError
+from repro.soc.machine import Machine
+from repro.soc.memory import PAGE_SIZE
+from repro.units import SEC, US
+
+#: Throughput of recording decompression at Load time (zlib on a
+#: mobile CPU).
+DECOMPRESS_BW = 150 * 1024 * 1024
+#: Verifier cost per action.
+VERIFY_ACTION_NS = 200
+#: Extra pacing injected on the delay-retry attempt (Section 5.4).
+RETRY_EXTRA_DELAY_NS = 50 * US
+#: How many actions before the failure receive the injected delay.
+RETRY_DELAY_WINDOW = 32
+#: Backoff before re-execution, letting transient faults clear.
+RETRY_BACKOFF_NS = 2_000_000
+
+
+@dataclass
+class ReplayResult:
+    """Outcome of one successful replay."""
+
+    outputs: Dict[str, np.ndarray]
+    duration_ns: int
+    attempts: int
+    stats: InterpreterStats
+    #: Virtual time from replay start to the first job kick.
+    startup_ns: int = 0
+
+    @property
+    def output(self) -> np.ndarray:
+        if len(self.outputs) != 1:
+            raise ReplayError(
+                f"replay produced {len(self.outputs)} outputs; "
+                "use .outputs")
+        return next(iter(self.outputs.values()))
+
+
+class Replayer:
+    """A drop-in replacement for the GPU stack (one app's instance)."""
+
+    def __init__(self, machine: Machine,
+                 max_gpu_bytes: Optional[int] = None,
+                 checkpoint_policy: Optional[CheckpointPolicy] = None):
+        self.machine = machine
+        self.nano = NanoGpuDriver(machine)
+        self.max_gpu_bytes = max_gpu_bytes
+        self.checkpoints = CheckpointManager(
+            self.nano, checkpoint_policy or CheckpointPolicy())
+        self.current: Optional[Recording] = None
+        self.verification: Optional[VerificationReport] = None
+        self.init_ns = 0
+        self.load_ns = 0
+        self._session_maps: Dict[int, int] = {}
+        self._preempt_requested = False
+        self._last_inputs: Dict[str, np.ndarray] = {}
+        self._initialized = False
+
+    # -- API: Init / Cleanup ------------------------------------------------------
+
+    def init(self) -> None:
+        """Acquire the GPU with a reset (API #1 of Section 5)."""
+        t0 = self.machine.clock.now()
+        self.nano.init_gpu()
+        self._session_maps.clear()
+        self.init_ns = self.machine.clock.now() - t0
+        self._initialized = True
+
+    def cleanup(self) -> None:
+        """Release the GPU, scrubbing state with a final reset."""
+        if self._initialized:
+            self.nano.soft_reset()
+        self.nano.release()
+        self.current = None
+        self._session_maps.clear()
+        self._initialized = False
+
+    # -- API: Load -------------------------------------------------------------------
+
+    def load(self, recording: Recording) -> VerificationReport:
+        """Verify a recording and stage it for replay (API #2)."""
+        self._require_init()
+        t0 = self.machine.clock.now()
+        report = verify_recording(
+            recording, self.nano.register_names(),
+            max_gpu_bytes=self.max_gpu_bytes,
+            preexisting_maps=dict(self._session_maps))
+        # Decompression + verification cost.
+        self.machine.clock.advance(
+            max(1, recording.dump_bytes() * SEC // DECOMPRESS_BW)
+            + VERIFY_ACTION_NS * len(recording.actions))
+        self.current = recording
+        self.verification = report
+        self.load_ns = self.machine.clock.now() - t0
+        return report
+
+    def load_bytes(self, blob: bytes) -> VerificationReport:
+        return self.load(Recording.from_bytes(blob))
+
+    # -- API: Replay ------------------------------------------------------------------
+
+    def replay(self,
+               inputs: Optional[Dict[str, np.ndarray]] = None,
+               use_recorded_intervals: bool = False,
+               max_attempts: int = 3,
+               should_yield: Optional[Callable[[], bool]] = None
+               ) -> ReplayResult:
+        """Replay the staged recording on new input (API #3)."""
+        recording = self._require_loaded()
+        inputs = dict(inputs or {})
+        self._check_inputs(recording, inputs)
+        self._last_inputs = inputs
+
+        t_start = self.machine.clock.now()
+        attempts = 0
+        extra_delay = 0
+        delay_range: Optional[Tuple[int, int]] = None
+        last_error: Optional[ReplayError] = None
+        while attempts < max_attempts:
+            attempts += 1
+            options = InterpreterOptions(
+                use_recorded_intervals=use_recorded_intervals,
+                extra_delay_ns=extra_delay,
+                extra_delay_range=delay_range)
+            interpreter = ReplayInterpreter(
+                self.nano, recording, options,
+                should_yield=self._yield_predicate(should_yield),
+                checkpoints=self.checkpoints if
+                self.checkpoints.enabled else None)
+            try:
+                stats = interpreter.execute(
+                    deposit_inputs=lambda: self._deposit(recording,
+                                                         inputs))
+                self._note_session_maps(recording)
+                outputs = self._extract(recording)
+                startup = (stats.first_kick_at_ns - t_start
+                           if stats.first_kick_at_ns >= 0 else 0)
+                return ReplayResult(
+                    outputs=outputs,
+                    duration_ns=self.machine.clock.now() - t_start,
+                    attempts=attempts,
+                    stats=stats,
+                    startup_ns=startup)
+            except ReplayAborted:
+                raise
+            except ReplayError as error:
+                last_error = error
+                if attempts >= max_attempts:
+                    break
+                # Recovery: back off (transient faults need time to
+                # clear), reset, start over; on the next retry, inject
+                # delays before the failure site (Section 5.4).
+                self.machine.clock.advance(RETRY_BACKOFF_NS)
+                try:
+                    self.nano.soft_reset()
+                except ReplayError as reset_error:
+                    # GPU still unhealthy; burn this attempt and let
+                    # the next one try again after another backoff.
+                    last_error = reset_error
+                    continue
+                if attempts >= 2:
+                    extra_delay = RETRY_EXTRA_DELAY_NS
+                    fail_at = max(error.action_index, 0)
+                    delay_range = (max(0, fail_at - RETRY_DELAY_WINDOW),
+                                   fail_at + 1)
+        raise ReplayError(
+            f"replay failed after {attempts} attempts: {last_error}",
+            getattr(last_error, "action_index", -1),
+            getattr(last_error, "source", ""))
+
+    def replay_sequence(self, recordings: Sequence[Recording],
+                        inputs: Optional[Dict[str, np.ndarray]] = None,
+                        use_recorded_intervals: bool = False
+                        ) -> ReplayResult:
+        """Replay a per-layer chain {R1..Rn} in one session.
+
+        Intermediates stay resident in replayer-owned GPU memory
+        between recordings; only R1 takes inputs and only Rn yields
+        outputs (Section 3.1's NN-inference pattern).
+        """
+        if not recordings:
+            raise ReplayError("empty recording sequence")
+        t_start = self.machine.clock.now()
+        total_attempts = 0
+        stats = InterpreterStats()
+        result: Optional[ReplayResult] = None
+        startup = 0
+        for index, recording in enumerate(recordings):
+            self.load(recording)
+            result = self.replay(
+                inputs=inputs if index == 0 else {},
+                use_recorded_intervals=use_recorded_intervals)
+            if index == 0:
+                startup = result.startup_ns + self.load_ns
+            total_attempts += result.attempts
+            stats.actions_executed += result.stats.actions_executed
+            stats.jobs_kicked += result.stats.jobs_kicked
+            stats.irqs_waited += result.stats.irqs_waited
+            stats.pacing_wait_ns += result.stats.pacing_wait_ns
+            stats.upload_bytes += result.stats.upload_bytes
+        return ReplayResult(
+            outputs=result.outputs,
+            duration_ns=self.machine.clock.now() - t_start,
+            attempts=total_attempts,
+            stats=stats,
+            startup_ns=startup)
+
+    # -- CPU footprint (Section 7.3) ---------------------------------------------------------
+
+    #: Fixed resident memory of the replayer itself: code, the
+    #: interpreter's state, the nano driver's bookkeeping.
+    REPLAYER_RSS_BYTES = 2 * 1024 * 1024
+
+    def cpu_footprint_bytes(self) -> int:
+        """Modeled resident CPU memory of the replayer (§7.3).
+
+        The replayer holds the decompressed recording (actions +
+        staged dumps) and little else -- no GPU contexts, no JIT
+        caches, no NN graph structures.
+        """
+        if not self._initialized:
+            return 0
+        staged = self.current.size_unzipped() if self.current else 0
+        checkpoints = sum(c.bytes_captured
+                          for c in self.checkpoints.checkpoints)
+        return self.REPLAYER_RSS_BYTES + staged + checkpoints
+
+    # -- preemption (Section 5.3) ----------------------------------------------------------
+
+    def request_preempt(self) -> None:
+        """Ask the running replay to yield at the next action."""
+        self._preempt_requested = True
+
+    def handoff(self) -> int:
+        """Give the GPU away *now*: flush + soft reset. Returns the
+        virtual-time cost (the interactive app's perceived delay)."""
+        t0 = self.machine.clock.now()
+        self.nano.flush_and_reset()
+        return self.machine.clock.now() - t0
+
+    def resume_after_preemption(self) -> ReplayResult:
+        """Continue a preempted replay: checkpoint restore if one
+        exists, whole re-execution otherwise."""
+        recording = self._require_loaded()
+        self._preempt_requested = False
+        checkpoint = self.checkpoints.latest()
+        if checkpoint is None:
+            return self.replay(inputs=self._last_inputs)
+        t_start = self.machine.clock.now()
+        self.checkpoints.restore_latest(recording.meta.memattr)
+        interpreter = ReplayInterpreter(self.nano, recording,
+                                        InterpreterOptions(),
+                                        checkpoints=None)
+        stats = interpreter.execute(start_index=checkpoint.action_index)
+        outputs = self._extract(recording)
+        return ReplayResult(outputs=outputs,
+                            duration_ns=self.machine.clock.now() - t_start,
+                            attempts=1, stats=stats)
+
+    def _yield_predicate(self, extra: Optional[Callable[[], bool]]
+                         ) -> Callable[[], bool]:
+        def should_yield() -> bool:
+            if self._preempt_requested:
+                return True
+            return extra() if extra is not None else False
+        return should_yield
+
+    # -- I/O plumbing -----------------------------------------------------------------------
+
+    @staticmethod
+    def _check_inputs(recording: Recording,
+                      inputs: Dict[str, np.ndarray]) -> None:
+        known = {io.name for io in recording.meta.inputs}
+        for name in inputs:
+            if name not in known:
+                raise ReplayError(f"recording has no input {name!r}")
+        for io in recording.meta.inputs:
+            if io.optional or io.name in inputs:
+                continue
+            raise ReplayError(f"missing required input {io.name!r}")
+
+    def _deposit(self, recording: Recording,
+                 inputs: Dict[str, np.ndarray]) -> None:
+        for io in recording.meta.inputs:
+            if io.name not in inputs:
+                continue
+            data = np.ascontiguousarray(inputs[io.name],
+                                        dtype=np.float32).tobytes()
+            if len(data) != io.size:
+                raise ReplayError(
+                    f"input {io.name!r}: {len(data)} bytes provided, "
+                    f"recording expects {io.size}")
+            self.nano.copy_to_gpu(io.gaddr, data)
+
+    def _extract(self, recording: Recording) -> Dict[str, np.ndarray]:
+        outputs: Dict[str, np.ndarray] = {}
+        for io in recording.meta.outputs:
+            raw = self.nano.copy_from_gpu(io.gaddr, io.size)
+            array = np.frombuffer(raw, dtype=np.float32)
+            if io.shape:
+                array = array.reshape(io.shape)
+            outputs[io.name] = array
+        return outputs
+
+    def _note_session_maps(self, recording: Recording) -> None:
+        from repro.core import actions as act
+        for action in recording.actions:
+            if isinstance(action, act.MapGpuMem):
+                self._session_maps[action.addr] = action.num_pages
+            elif isinstance(action, act.UnmapGpuMem):
+                self._session_maps.pop(action.addr, None)
+
+    # -- guards --------------------------------------------------------------------------------
+
+    def _require_init(self) -> None:
+        if not self._initialized:
+            raise ReplayError("replayer not initialized; call init()")
+
+    def _require_loaded(self) -> Recording:
+        self._require_init()
+        if self.current is None:
+            raise ReplayError("no recording loaded; call load()")
+        return self.current

@@ -1,0 +1,35 @@
+"""Deployment environments for the replayer (Sections 1, 6.3).
+
+Four hosting environments, matching Table 4's "Replayers" column:
+
+- :class:`~repro.environments.userspace.UserspaceEnvironment` -- a
+  daemon with kernel bypass (DPDK/UIO-style), used on Mali;
+- :class:`~repro.environments.kernelspace.KernelEnvironment` -- a
+  kernel module reusing stock-driver plumbing, used on v3d;
+- :class:`~repro.environments.tee.TeeEnvironment` -- the TrustZone
+  secure world behind a secure monitor (deployment D2);
+- :class:`~repro.environments.baremetal.BaremetalEnvironment` -- no OS
+  at all: the replayer brings up GPU power/clocks itself from the
+  extracted firmware sequence (deployment D3).
+
+Plus :mod:`repro.environments.scheduler` -- GPU handoff between a
+replayer and interactive apps (deployment D1, Section 5.3).
+"""
+
+from repro.environments.baremetal import BaremetalEnvironment
+from repro.environments.base import DeploymentEnvironment
+from repro.environments.kernelspace import KernelEnvironment
+from repro.environments.scheduler import GpuHandoffScheduler, InteractiveApp
+from repro.environments.tee import SecureMonitor, TeeEnvironment
+from repro.environments.userspace import UserspaceEnvironment
+
+__all__ = [
+    "BaremetalEnvironment",
+    "DeploymentEnvironment",
+    "GpuHandoffScheduler",
+    "InteractiveApp",
+    "KernelEnvironment",
+    "SecureMonitor",
+    "TeeEnvironment",
+    "UserspaceEnvironment",
+]

@@ -1,0 +1,105 @@
+"""The TrustZone replayer (deployment D2, Section 6.3).
+
+A secure monitor at EL3 switches the GPU between the normal world
+(running the full stack for ordinary apps) and the secure world
+(running the replayer inside an OP-TEE-like kernel). The monitor owns
+the *mapping switch*: only the world currently granted the GPU may
+touch its registers -- the 100-SLoC OP-TEE driver of Section 6.3.
+
+World switches cost real virtual time, and every replay is bracketed
+by a pair of them, which is how the TEE deployment's overhead shows up
+in benchmarks.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.replayer import Replayer, ReplayResult
+from repro.environments.base import (DeploymentEnvironment, TcbProfile,
+                                     host_kernel_configures_gpu)
+from repro.errors import EnvironmentError_
+from repro.soc.machine import Machine
+from repro.units import KIB, MS, US
+
+NORMAL_WORLD = "normal"
+SECURE_WORLD = "secure"
+
+#: One EL3 world switch (SMC + context save/restore).
+WORLD_SWITCH_NS = 12 * US
+#: OP-TEE session setup + secure-world mapping of GPU registers/memory.
+TEE_SETUP_NS = 5 * MS
+
+
+class SecureMonitor:
+    """EL3 monitor: tracks which world owns the GPU mappings."""
+
+    def __init__(self, machine: Machine):
+        self.machine = machine
+        self.gpu_owner = NORMAL_WORLD
+        self.switch_count = 0
+
+    def switch_gpu_to(self, world: str) -> None:
+        if world not in (NORMAL_WORLD, SECURE_WORLD):
+            raise EnvironmentError_(f"unknown world {world!r}")
+        if world == self.gpu_owner:
+            return
+        # Re-map GPU registers and memory into the target world.
+        self.machine.clock.advance(WORLD_SWITCH_NS)
+        self.gpu_owner = world
+        self.switch_count += 1
+
+    def require_owner(self, world: str) -> None:
+        if self.gpu_owner != world:
+            raise EnvironmentError_(
+                f"GPU is mapped to the {self.gpu_owner} world; "
+                f"{world}-world access is blocked by the monitor")
+
+
+class TeeEnvironment(DeploymentEnvironment):
+    """Replayer inside the secure world (used on Mali / Hikey960)."""
+
+    name = "tee"
+
+    def __init__(self, machine: Machine,
+                 monitor: Optional[SecureMonitor] = None):
+        super().__init__(machine)
+        self.monitor = monitor or SecureMonitor(machine)
+
+    def tcb(self) -> TcbProfile:
+        return TcbProfile(
+            name=self.name,
+            trusted_components=["TEE kernel (OP-TEE)", "secure monitor",
+                                "replayer TA (~1K SLoC)"],
+            exposed_to=["local OS adversaries (normal world)",
+                        "remote adversaries"],
+            replayer_binary_bytes=10 * KIB,
+        )
+
+    def _prepare(self) -> None:
+        host_kernel_configures_gpu(self.machine)
+        self.machine.clock.advance(TEE_SETUP_NS)
+        self.monitor.switch_gpu_to(SECURE_WORLD)
+
+    def replay(self, **kwargs) -> ReplayResult:
+        """Replay entirely inside the secure world.
+
+        The monitor must have granted the GPU to the secure world; the
+        result is returned to the normal world through one more switch
+        (shared-memory result passing).
+        """
+        self.monitor.require_owner(SECURE_WORLD)
+        result = self.require_replayer().replay(**kwargs)
+        # Return to the caller in the normal world.
+        self.machine.clock.advance(WORLD_SWITCH_NS)
+        return result
+
+    def yield_gpu_to_normal_world(self) -> int:
+        """Give the GPU back to the normal-world stack (D2 handoff)."""
+        delay = self.require_replayer().handoff()
+        self.monitor.switch_gpu_to(NORMAL_WORLD)
+        return delay + WORLD_SWITCH_NS
+
+    def reclaim_gpu(self) -> None:
+        self.monitor.switch_gpu_to(SECURE_WORLD)
+        self.require_replayer().nano.soft_reset()

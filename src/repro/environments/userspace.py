@@ -1,0 +1,39 @@
+"""The user-level replayer: a daemon with kernel bypass (Section 6.3).
+
+The kernel parses the device tree and exposes GPU registers, memory
+and interrupts to userspace (UIO/DPDK-style); the replayer maps the
+registers with mmap and manipulates GPU page tables through mapped
+memory. Setup therefore costs a handful of syscalls and mappings, and
+the host kernel is in the TCB (threat model D1).
+"""
+
+from __future__ import annotations
+
+from repro.environments.base import (DeploymentEnvironment, TcbProfile,
+                                     host_kernel_configures_gpu)
+from repro.units import KIB, MS, US
+
+#: mmap of the register window + GPU memory + interrupt eventfd setup.
+MMAP_SETUP_NS = int(1.5 * MS)
+#: Device-tree parse + UIO node discovery.
+UIO_DISCOVERY_NS = 800 * US
+
+
+class UserspaceEnvironment(DeploymentEnvironment):
+    """Replayer hosted as an unprivileged daemon (used on Mali)."""
+
+    name = "userspace"
+
+    def tcb(self) -> TcbProfile:
+        return TcbProfile(
+            name=self.name,
+            trusted_components=["host OS kernel", "UIO bindings",
+                                "replayer (~2.2K SLoC)"],
+            exposed_to=["local unprivileged adversaries",
+                        "remote adversaries"],
+            replayer_binary_bytes=25 * KIB,
+        )
+
+    def _prepare(self) -> None:
+        host_kernel_configures_gpu(self.machine)
+        self.machine.clock.advance(UIO_DISCOVERY_NS + MMAP_SETUP_NS)

@@ -1,0 +1,154 @@
+"""Exception hierarchy shared by every layer of the reproduction.
+
+The hierarchy mirrors the system layering: SoC substrate errors, GPU
+hardware faults, full-stack (driver/runtime/framework) errors, and the
+GPUReplay record/verify/replay errors that the paper's Section 5 defines.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by this package."""
+
+
+# --------------------------------------------------------------------------
+# SoC substrate
+# --------------------------------------------------------------------------
+
+
+class SocError(ReproError):
+    """Errors raised by the simulated SoC substrate."""
+
+
+class PhysicalMemoryError(SocError):
+    """Out-of-bounds or misaligned access to simulated physical memory."""
+
+
+class AllocationError(SocError):
+    """The page allocator ran out of free pages."""
+
+
+class MmioError(SocError):
+    """Access to an unmapped MMIO address or an unknown register."""
+
+
+class FirmwareError(SocError):
+    """The SoC firmware mailbox rejected a request."""
+
+
+# --------------------------------------------------------------------------
+# GPU hardware
+# --------------------------------------------------------------------------
+
+
+class GpuFault(ReproError):
+    """A fault raised by the simulated GPU hardware itself."""
+
+
+class GpuPageFault(GpuFault):
+    """The GPU MMU failed to translate a virtual address.
+
+    Carries the faulting virtual address and the access type so drivers
+    (and the replayer's nano driver) can report it like the real fault
+    status registers would.
+    """
+
+    def __init__(self, va: int, access: str, reason: str = "unmapped"):
+        super().__init__(f"GPU page fault at VA {va:#x} ({access}): {reason}")
+        self.va = va
+        self.access = access
+        self.reason = reason
+
+
+class GpuStateError(GpuFault):
+    """The GPU was driven through an illegal state transition."""
+
+
+class ShaderDecodeError(GpuFault):
+    """The GPU could not decode a shader binary."""
+
+
+class JobDecodeError(GpuFault):
+    """The GPU could not decode a job descriptor / control list."""
+
+
+# --------------------------------------------------------------------------
+# The full GPU stack (driver / runtime / framework)
+# --------------------------------------------------------------------------
+
+
+class StackError(ReproError):
+    """Errors raised by the full (original) GPU software stack."""
+
+
+class DriverError(StackError):
+    """An ioctl or internal driver operation failed."""
+
+
+class RuntimeApiError(StackError):
+    """Misuse of the OpenCL-/Vulkan-/GLES-like runtime APIs."""
+
+
+class CompileError(RuntimeApiError):
+    """JIT shader compilation failed."""
+
+
+class FrameworkError(StackError):
+    """An ML-framework level error (bad model graph, shape mismatch...)."""
+
+
+# --------------------------------------------------------------------------
+# GPUReplay
+# --------------------------------------------------------------------------
+
+
+class RecordingError(ReproError):
+    """The recorder could not produce a sound recording."""
+
+
+class TaintError(RecordingError):
+    """Input/output address discovery failed or stayed ambiguous."""
+
+
+class SerializationError(RecordingError):
+    """A recording file is malformed and cannot be decoded."""
+
+
+class VerificationError(ReproError):
+    """A recording failed the replayer's static security verification."""
+
+
+class ReplayError(ReproError):
+    """Base class for run-time replay failures (Section 5.4).
+
+    ``action_index`` locates the failing replay action; ``source``
+    carries the full-driver source tag captured at record time so the
+    replayer can emit errors "as the full driver does".
+    """
+
+    def __init__(self, message: str, action_index: int = -1, source: str = ""):
+        detail = message
+        if action_index >= 0:
+            detail += f" [action #{action_index}]"
+        if source:
+            detail += f" [driver source: {source}]"
+        super().__init__(detail)
+        self.action_index = action_index
+        self.source = source
+
+
+class ReplayDivergence(ReplayError):
+    """A state-changing event did not match the recording."""
+
+
+class ReplayTimeout(ReplayError):
+    """A RegReadWait or WaitIrq action exceeded its timeout."""
+
+
+class ReplayAborted(ReplayError):
+    """The replay was preempted or cancelled by the environment."""
+
+
+class EnvironmentError_(ReproError):
+    """A deployment environment could not host the replayer."""

@@ -1,0 +1,37 @@
+"""Register-level models of integrated GPUs.
+
+Three GPU families are modelled, spanning the interface styles of the
+paper's Table 1:
+
+- :mod:`repro.gpu.mali` -- an Arm-Mali-like family (SKUs G31/G52/G71)
+  with job chains, job slots, per-page execute permissions and an
+  LPAE page-table variant on the low-end SKU;
+- :mod:`repro.gpu.v3d` -- a Broadcom-v3d-like GPU with control lists
+  and permissionless page tables;
+- :mod:`repro.gpu.adreno` -- a Qualcomm-Adreno-like GPU with
+  ring-buffer submission and SMMU page tables.
+
+All execute the same shader bytecode ISA (:mod:`repro.gpu.isa`) whose
+binaries are opaque, pointer-linked blobs -- exactly the property that
+forces GPUReplay to dump memory wholesale instead of interpreting it.
+"""
+
+from repro.gpu.adreno import AdrenoGpu
+from repro.gpu.device import GpuDevice
+from repro.gpu.mali import MALI_SKUS, MaliGpu
+from repro.gpu.v3d import V3dGpu
+
+
+def create_gpu(model: str, machine) -> GpuDevice:
+    """Instantiate the GPU device named by a board spec and mount it."""
+    if model.startswith("mali-"):
+        return MaliGpu(machine, sku=model[len("mali-"):])
+    if model == "v3d":
+        return V3dGpu(machine)
+    if model.startswith("adreno"):
+        return AdrenoGpu(machine)
+    raise ValueError(f"unknown GPU model {model!r}")
+
+
+__all__ = ["AdrenoGpu", "GpuDevice", "MALI_SKUS", "MaliGpu", "V3dGpu",
+           "create_gpu"]

@@ -1,0 +1,157 @@
+"""Common machinery for integrated-GPU device models.
+
+A :class:`GpuDevice` is *hardware*: software (the full driver or the
+replayer's nano driver) may only talk to it through its register file,
+shared memory, and its interrupt line. Everything else on the class is
+either internal state or simulation plumbing (busy tracking for the
+recorder's idle heuristic, fault injection for Section 7.2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.gpu.mmu import GpuMmu, PteFormat
+from repro.gpu.perf import GpuPerfModel
+from repro.soc.clock import ClockDomain, EventHandle
+from repro.soc.machine import Machine
+from repro.soc.mmio import RegisterDef, RegisterFile
+from repro.units import US
+
+
+@dataclass
+class RunningJob:
+    """Book-keeping for one job in flight (or hardware-queued)."""
+
+    slot: int
+    chain_va: int
+    programs: List[object]
+    completion: Optional[EventHandle]
+    active_cores: int
+
+
+class GpuDevice:
+    """Base class for the Mali-like and v3d-like device models."""
+
+    family = "abstract"
+
+    def __init__(self, machine: Machine, model_name: str,
+                 regdefs: List[RegisterDef], core_count: int,
+                 clock_hz: int, pte_format: PteFormat,
+                 max_active_jobs: int):
+        self.machine = machine
+        self.model_name = model_name
+        self.core_count = core_count
+        self.max_active_jobs = max_active_jobs
+        self.regs = RegisterFile(regdefs)
+        machine.mmio.map(machine.board.gpu_mmio_base, self.regs)
+        self.irq_number = machine.board.gpu_irq
+        machine.irq.register_line(self.irq_number, f"{model_name}-irq")
+        self.clock_domain = ClockDomain(
+            f"{model_name}-core", clock_hz, machine.clock,
+            stabilize_ns=100 * US)
+        self.mmu = GpuMmu(machine.memory, pte_format)
+        self.perf = GpuPerfModel()
+
+        # Busy/idle tracking: transitions feed the recorder's
+        # "GPU idle through the interval => skippable" heuristic (§4.5).
+        self._busy_count = 0
+        self.busy_transitions: List[Tuple[int, bool]] = [(0, False)]
+        self.busy_observers: List[Callable[[bool], None]] = []
+
+        # Fault injection (hardware-level events; see repro.gpu.faults).
+        self.offline_core_mask = 0
+
+        self._pending_ops: List[EventHandle] = []
+        self._irq_level = False
+
+    # -- identity ------------------------------------------------------------
+
+    @property
+    def clock_hz(self) -> int:
+        return self.clock_domain.rate_hz
+
+    def describe(self) -> Dict[str, object]:
+        return {
+            "family": self.family,
+            "model": self.model_name,
+            "cores": self.core_count,
+            "clock_hz": self.clock_hz,
+            "pte_format": self.mmu.fmt.name,
+        }
+
+    # -- busy/idle tracking ----------------------------------------------------
+
+    @property
+    def busy(self) -> bool:
+        return self._busy_count > 0
+
+    def _enter_busy(self) -> None:
+        self._busy_count += 1
+        if self._busy_count == 1:
+            self._record_busy_transition(True)
+
+    def _exit_busy(self) -> None:
+        if self._busy_count <= 0:
+            return
+        self._busy_count -= 1
+        if self._busy_count == 0:
+            self._record_busy_transition(False)
+
+    def _record_busy_transition(self, busy: bool) -> None:
+        self.busy_transitions.append((self.machine.clock.now(), busy))
+        for observer in self.busy_observers:
+            observer(busy)
+
+    def idle_throughout(self, t0: int, t1: int) -> bool:
+        """True if the GPU was idle during the whole window [t0, t1]."""
+        if t1 < t0:
+            t0, t1 = t1, t0
+        state_at_t0 = False
+        for when, busy in self.busy_transitions:
+            if when <= t0:
+                state_at_t0 = busy
+                continue
+            if when >= t1:
+                break
+            if busy:  # Became busy inside the window.
+                return False
+        return not state_at_t0
+
+    def trim_busy_history(self) -> None:
+        """Drop history older than the current instant (memory bound)."""
+        self.busy_transitions = [(self.machine.clock.now(), self.busy)]
+
+    # -- scheduling helpers -----------------------------------------------------
+
+    def _schedule(self, delay_ns: int, callback: Callable[[], None],
+                  tag: str = "") -> EventHandle:
+        handle = self.machine.clock.schedule(delay_ns, callback, tag)
+        self._pending_ops.append(handle)
+        return handle
+
+    def _cancel_pending(self) -> None:
+        for handle in self._pending_ops:
+            handle.cancel()
+        self._pending_ops.clear()
+
+    def _jitter(self, base_ns: int, spread: float = 0.08) -> int:
+        """Nondeterministic hardware timing around a base delay."""
+        factor = 1.0 + self.machine.rng.random() * spread
+        return max(1, int(base_ns * factor))
+
+    # -- interrupt line -----------------------------------------------------------
+
+    def _irq_pending_level(self) -> bool:
+        """Subclass: is any unmasked interrupt source asserted?"""
+        raise NotImplementedError
+
+    def update_irq_line(self) -> None:
+        level = self._irq_pending_level()
+        if level and not self._irq_level:
+            self._irq_level = True
+            self.machine.irq.raise_irq(self.irq_number)
+        elif not level:
+            self._irq_level = False
+            self.machine.irq.ack(self.irq_number)

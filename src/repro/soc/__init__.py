@@ -1,0 +1,46 @@
+"""The simulated SoC substrate.
+
+Provides the hardware environment the GPU stack and the replayer run on:
+a discrete-event virtual clock, physical DRAM with a page allocator, an
+MMIO bus with register files, an interrupt controller, power and clock
+domains, a firmware mailbox, and board definitions composing them into a
+:class:`~repro.soc.machine.Machine`.
+"""
+
+from repro.soc.boards import (
+    BOARDS,
+    BoardSpec,
+    HIKEY960,
+    ODROID_C4,
+    ODROID_N2,
+    RASPBERRY_PI4,
+    board_by_name,
+)
+from repro.soc.clock import ClockDomain, VirtualClock
+from repro.soc.irq import InterruptController
+from repro.soc.machine import Machine
+from repro.soc.memory import PAGE_SIZE, PageAllocator, PhysicalMemory
+from repro.soc.mmio import MmioBus, RegAttr, RegisterDef, RegisterFile
+from repro.soc.power import PowerDomain
+
+__all__ = [
+    "BOARDS",
+    "BoardSpec",
+    "ClockDomain",
+    "HIKEY960",
+    "InterruptController",
+    "Machine",
+    "MmioBus",
+    "ODROID_C4",
+    "ODROID_N2",
+    "PAGE_SIZE",
+    "PageAllocator",
+    "PhysicalMemory",
+    "PowerDomain",
+    "RASPBERRY_PI4",
+    "RegAttr",
+    "RegisterDef",
+    "RegisterFile",
+    "board_by_name",
+    "VirtualClock",
+]

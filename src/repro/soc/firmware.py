@@ -1,0 +1,82 @@
+"""SoC firmware mailbox (Raspberry-Pi-style property interface).
+
+On boards like the Pi 4, some power/clock configuration is not done via
+MMIO but by messaging the SoC firmware through a mailbox. The Linux
+driver uses it transparently; the baremetal replayer must reproduce the
+same calls, so the mailbox logs every request -- that log is what the
+"instrument the kernel, extract the register/firmware access" step of
+Section 6.3 extracts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.errors import FirmwareError
+from repro.soc.clock import VirtualClock
+from repro.units import US
+
+# Property tags, mirroring the RPi mailbox property interface.
+TAG_SET_POWER = 0x28001
+TAG_GET_POWER = 0x20001
+TAG_SET_CLOCK_RATE = 0x38002
+TAG_GET_CLOCK_RATE = 0x30002
+
+#: Round-trip cost of one mailbox transaction (virtual time).
+MAILBOX_CALL_NS = 50 * US
+
+
+@dataclass(frozen=True)
+class MailboxCall:
+    """One logged firmware transaction."""
+
+    tag: int
+    device_id: int
+    value: int
+
+
+class FirmwareMailbox:
+    """Firmware property mailbox with power and clock services."""
+
+    def __init__(self, clock: VirtualClock):
+        self._clock = clock
+        self._power: Dict[int, bool] = {}
+        self._clocks: Dict[int, int] = {}
+        self.call_log: List[MailboxCall] = []
+
+    def define_device(self, device_id: int, default_clock_hz: int) -> None:
+        self._power[device_id] = False
+        self._clocks[device_id] = default_clock_hz
+
+    def request(self, tag: int, device_id: int, value: int = 0) -> int:
+        """Issue one property request; returns the response value."""
+        if device_id not in self._power:
+            raise FirmwareError(f"unknown firmware device id {device_id}")
+        self._clock.advance(MAILBOX_CALL_NS)
+        self.call_log.append(MailboxCall(tag, device_id, value))
+        if tag == TAG_SET_POWER:
+            self._power[device_id] = bool(value & 1)
+            return value & 1
+        if tag == TAG_GET_POWER:
+            return int(self._power[device_id])
+        if tag == TAG_SET_CLOCK_RATE:
+            if value <= 0:
+                raise FirmwareError("clock rate must be positive")
+            self._clocks[device_id] = value
+            return value
+        if tag == TAG_GET_CLOCK_RATE:
+            return self._clocks[device_id]
+        raise FirmwareError(f"unknown mailbox tag {tag:#x}")
+
+    def is_powered(self, device_id: int) -> bool:
+        return self._power.get(device_id, False)
+
+    def clock_rate(self, device_id: int) -> int:
+        if device_id not in self._clocks:
+            raise FirmwareError(f"unknown firmware device id {device_id}")
+        return self._clocks[device_id]
+
+    def extract_sequence(self) -> List[Tuple[int, int, int]]:
+        """The recorded call sequence as plain tuples (for extraction)."""
+        return [(c.tag, c.device_id, c.value) for c in self.call_log]

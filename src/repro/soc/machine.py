@@ -1,0 +1,89 @@
+"""The ``Machine``: composition root for one simulated board.
+
+A machine owns the virtual clock, DRAM, the MMIO bus, the interrupt
+controller, the firmware mailbox and exactly one integrated GPU device.
+Record-time and replay-time runs use *different* machine instances
+(different seeds), which is what exercises relocation and the
+nondeterminism-tolerance machinery.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.errors import SocError
+from repro.soc.boards import BoardSpec, board_by_name
+from repro.soc.clock import VirtualClock
+from repro.soc.firmware import FirmwareMailbox
+from repro.soc.irq import InterruptController
+from repro.soc.memory import PAGE_SIZE, PageAllocator, PhysicalMemory
+from repro.soc.mmio import MmioBus
+
+
+@dataclass
+class InterferenceProfile:
+    """Run-time interference knobs (Section 7.2 validation).
+
+    ``mem_contention`` scales GPU memory-bound work (co-running CPU
+    programs generating memory traffic); ``thermal_throttle`` scales all
+    GPU work (SoC thermal throttling from burned CPU cycles). 1.0 means
+    no interference.
+    """
+
+    mem_contention: float = 1.0
+    thermal_throttle: float = 1.0
+
+    def validate(self) -> None:
+        if self.mem_contention < 1.0 or self.thermal_throttle < 1.0:
+            raise SocError("interference factors must be >= 1.0")
+
+
+class Machine:
+    """One simulated SoC board with an integrated GPU."""
+
+    def __init__(self, board: BoardSpec, seed: int = 0):
+        self.board = board
+        self.seed = seed
+        self.clock = VirtualClock()
+        self.rng = random.Random(seed)
+        self.memory = PhysicalMemory(board.dram_bytes)
+        self.gpu_allocator = PageAllocator(
+            self.memory,
+            base_pa=board.gpu_mem_base,
+            page_count=board.gpu_mem_bytes // PAGE_SIZE,
+            seed=seed ^ 0x5EED,
+        )
+        self.mmio = MmioBus()
+        self.irq = InterruptController()
+        self.firmware = FirmwareMailbox(self.clock)
+        self.interference = InterferenceProfile()
+        self.gpu = None  # type: Optional[object]
+
+    @classmethod
+    def create(cls, board: "BoardSpec | str", seed: int = 0) -> "Machine":
+        """Build a machine and mount the board's GPU device on it."""
+        if isinstance(board, str):
+            board = board_by_name(board)
+        machine = cls(board, seed)
+        # Imported lazily: repro.gpu depends on repro.soc.
+        from repro.gpu import create_gpu
+
+        machine.gpu = create_gpu(board.gpu_model, machine)
+        return machine
+
+    def attach_gpu(self, gpu: object) -> None:
+        """Mount a GPU device (used by tests that build devices by hand)."""
+        if self.gpu is not None:
+            raise SocError("machine already has a GPU attached")
+        self.gpu = gpu
+
+    def require_gpu(self):
+        if self.gpu is None:
+            raise SocError("machine has no GPU attached")
+        return self.gpu
+
+    def now(self) -> int:
+        """Shorthand for the machine's virtual time."""
+        return self.clock.now()

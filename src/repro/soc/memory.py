@@ -1,0 +1,174 @@
+"""Simulated physical DRAM and a page allocator.
+
+The DRAM is shared between CPU and the integrated GPU exactly as on the
+paper's SoCs ("GPU memory" is a region of shared DRAM). Storage is
+sparse: only touched pages are materialized, so a board can advertise
+gigabytes of DRAM while tests stay cheap.
+
+The :class:`PageAllocator` hands out *non-contiguous* physical pages in
+a seed-dependent order. This is deliberate: record-time and replay-time
+machines get different physical layouts, which forces the replayer's
+page-table relocation path (Section 5.2) to actually work rather than
+accidentally relying on identical addresses.
+"""
+
+from __future__ import annotations
+
+import random
+import struct
+from typing import Dict, Iterable, List, Optional
+
+from repro.errors import AllocationError, PhysicalMemoryError
+
+PAGE_SIZE = 4096
+
+
+class PhysicalMemory:
+    """Byte-addressable sparse physical memory."""
+
+    def __init__(self, size_bytes: int):
+        if size_bytes <= 0 or size_bytes % PAGE_SIZE != 0:
+            raise PhysicalMemoryError(
+                f"memory size must be a positive multiple of {PAGE_SIZE}")
+        self.size = size_bytes
+        self._pages: Dict[int, bytearray] = {}
+
+    # -- raw access --------------------------------------------------------
+
+    def read(self, pa: int, length: int) -> bytes:
+        """Read ``length`` bytes at physical address ``pa``."""
+        self._check_range(pa, length)
+        out = bytearray(length)
+        offset = 0
+        while offset < length:
+            page_index, page_offset = divmod(pa + offset, PAGE_SIZE)
+            chunk = min(length - offset, PAGE_SIZE - page_offset)
+            page = self._pages.get(page_index)
+            if page is not None:
+                out[offset:offset + chunk] = page[page_offset:page_offset + chunk]
+            offset += chunk
+        return bytes(out)
+
+    def write(self, pa: int, data: bytes) -> None:
+        """Write ``data`` at physical address ``pa``."""
+        self._check_range(pa, len(data))
+        offset = 0
+        length = len(data)
+        while offset < length:
+            page_index, page_offset = divmod(pa + offset, PAGE_SIZE)
+            chunk = min(length - offset, PAGE_SIZE - page_offset)
+            page = self._pages.get(page_index)
+            if page is None:
+                page = bytearray(PAGE_SIZE)
+                self._pages[page_index] = page
+            page[page_offset:page_offset + chunk] = data[offset:offset + chunk]
+            offset += chunk
+
+    def fill(self, pa: int, length: int, value: int = 0) -> None:
+        """Fill a range with a byte value (used for page scrubbing)."""
+        self.write(pa, bytes([value]) * length)
+
+    # -- word access -------------------------------------------------------
+
+    def read_u32(self, pa: int) -> int:
+        return struct.unpack("<I", self.read(pa, 4))[0]
+
+    def write_u32(self, pa: int, value: int) -> None:
+        self.write(pa, struct.pack("<I", value & 0xFFFFFFFF))
+
+    def read_u64(self, pa: int) -> int:
+        return struct.unpack("<Q", self.read(pa, 8))[0]
+
+    def write_u64(self, pa: int, value: int) -> None:
+        self.write(pa, struct.pack("<Q", value & 0xFFFFFFFFFFFFFFFF))
+
+    # -- introspection -----------------------------------------------------
+
+    def touched_pages(self) -> int:
+        """Number of pages actually materialized."""
+        return len(self._pages)
+
+    def page_is_zero(self, pa: int) -> bool:
+        """True if the page containing ``pa`` holds only zero bytes."""
+        page = self._pages.get(pa // PAGE_SIZE)
+        return page is None or not any(page)
+
+    def _check_range(self, pa: int, length: int) -> None:
+        if pa < 0 or length < 0 or pa + length > self.size:
+            raise PhysicalMemoryError(
+                f"access [{pa:#x}, {pa + length:#x}) outside memory of "
+                f"size {self.size:#x}")
+
+
+class PageAllocator:
+    """Allocates physical pages from a region of :class:`PhysicalMemory`.
+
+    The free list is shuffled once at construction using ``seed`` so
+    that two machines (record vs replay) produce different physical
+    layouts for the same allocation sequence.
+    """
+
+    def __init__(self, memory: PhysicalMemory, base_pa: int,
+                 page_count: int, seed: int = 0):
+        if base_pa % PAGE_SIZE != 0:
+            raise AllocationError("allocator base must be page-aligned")
+        if base_pa + page_count * PAGE_SIZE > memory.size:
+            raise AllocationError("allocator region exceeds physical memory")
+        self.memory = memory
+        self.base_pa = base_pa
+        self.page_count = page_count
+        free = [base_pa + i * PAGE_SIZE for i in range(page_count)]
+        random.Random(seed).shuffle(free)
+        self._free: List[int] = free
+        self._used: Dict[int, str] = {}
+
+    # -- allocation --------------------------------------------------------
+
+    def alloc_page(self, tag: str = "") -> int:
+        """Allocate one page; returns its physical address."""
+        if not self._free:
+            raise AllocationError("out of physical pages")
+        pa = self._free.pop()
+        self._used[pa] = tag
+        self.memory.fill(pa, PAGE_SIZE, 0)
+        return pa
+
+    def alloc_pages(self, count: int, tag: str = "") -> List[int]:
+        """Allocate ``count`` pages (not necessarily contiguous)."""
+        if count < 0:
+            raise AllocationError(f"cannot allocate {count} pages")
+        if count > len(self._free):
+            raise AllocationError(
+                f"out of physical pages ({count} requested, "
+                f"{len(self._free)} free)")
+        return [self.alloc_page(tag) for _ in range(count)]
+
+    def free_page(self, pa: int) -> None:
+        if pa not in self._used:
+            raise AllocationError(f"double free of page {pa:#x}")
+        del self._used[pa]
+        self._free.append(pa)
+
+    def free_pages(self, pas: Iterable[int]) -> None:
+        for pa in list(pas):
+            self.free_page(pa)
+
+    # -- accounting --------------------------------------------------------
+
+    @property
+    def pages_in_use(self) -> int:
+        return len(self._used)
+
+    @property
+    def pages_free(self) -> int:
+        return len(self._free)
+
+    def usage_by_tag(self) -> Dict[str, int]:
+        """Pages in use, grouped by allocation tag."""
+        out: Dict[str, int] = {}
+        for tag in self._used.values():
+            out[tag] = out.get(tag, 0) + 1
+        return out
+
+    def owner_of(self, pa: int) -> Optional[str]:
+        return self._used.get(pa)

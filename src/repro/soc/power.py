@@ -1,0 +1,100 @@
+"""Power domains for the simulated SoC.
+
+Modern integrated GPUs sit behind SoC-level power and clock domains
+(Section 6.3 of the paper): bringing the GPU up requires ordered rail
+power-on with stabilization delays. The full driver performs that
+sequence; the *baremetal* replayer must reproduce it itself, which is
+why these transitions are modelled as first-class objects rather than
+as a boolean.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.errors import SocError
+from repro.soc.clock import VirtualClock
+
+
+class PowerDomain:
+    """A power rail with on/off state and a stabilization delay."""
+
+    def __init__(self, name: str, clock: VirtualClock, settle_ns: int):
+        self.name = name
+        self._clock = clock
+        self.settle_ns = settle_ns
+        self._on = False
+        self._stable_at_ns = 0
+        self.transitions = 0
+
+    @property
+    def is_on(self) -> bool:
+        return self._on
+
+    def is_stable(self) -> bool:
+        """On and past its stabilization window."""
+        return self._on and self._clock.now() >= self._stable_at_ns
+
+    def power_on(self) -> None:
+        if self._on:
+            return
+        self._on = True
+        self._stable_at_ns = self._clock.now() + self.settle_ns
+        self.transitions += 1
+
+    def power_off(self) -> None:
+        if not self._on:
+            return
+        self._on = False
+        self.transitions += 1
+
+    def require_stable(self) -> None:
+        if not self.is_stable():
+            raise SocError(
+                f"power domain {self.name} used before stabilizing "
+                f"(on={self._on})")
+
+
+class PowerController:
+    """Groups a device's power domains and enforces bring-up ordering."""
+
+    def __init__(self, clock: VirtualClock):
+        self._clock = clock
+        self._domains: Dict[str, PowerDomain] = {}
+        self._order: List[str] = []
+
+    def add_domain(self, name: str, settle_ns: int) -> PowerDomain:
+        if name in self._domains:
+            raise SocError(f"power domain {name} already exists")
+        domain = PowerDomain(name, self._clock, settle_ns)
+        self._domains[name] = domain
+        self._order.append(name)
+        return domain
+
+    def domain(self, name: str) -> PowerDomain:
+        if name not in self._domains:
+            raise SocError(f"unknown power domain {name}")
+        return self._domains[name]
+
+    def domains(self) -> List[PowerDomain]:
+        return [self._domains[n] for n in self._order]
+
+    def all_stable(self) -> bool:
+        return all(d.is_stable() for d in self.domains())
+
+    def power_on_in_order(self) -> None:
+        """Bring every domain up in declaration order, waiting for each.
+
+        This is the sequence the Linux driver performs; the recorder for
+        the baremetal replayer extracts exactly these accesses.
+        """
+        for domain in self.domains():
+            domain.power_on()
+            settle = domain.settle_ns
+            if settle:
+                self._clock.advance(settle)
+            domain.require_stable()
+
+    def power_off_all(self) -> None:
+        for domain in reversed(self.domains()):
+            domain.power_off()

@@ -1,0 +1,15 @@
+"""The original, full GPU software stack -- what GPUReplay replaces.
+
+Three layers, mirroring Figure 2 of the paper:
+
+- :mod:`repro.stack.driver` -- open-source GPU drivers (Mali, v3d):
+  ioctl interface, register accessors, job queues, power management,
+  GPU memory management. This is the *only* layer the recorder
+  instruments.
+- :mod:`repro.stack.runtime` -- proprietary-style runtimes (OpenCL-,
+  Vulkan-, GLES-compute-like) that JIT-compile kernels into shader
+  binaries and emit job binaries directly into mmap'd GPU memory,
+  bypassing the driver.
+- :mod:`repro.stack.framework` -- ML frameworks (ACL-, ncnn-,
+  DeepCL-like) with a model zoo and a CPU reference executor.
+"""

@@ -1,0 +1,20 @@
+"""GPU kernel drivers for the simulated SoC.
+
+These play the role of the open-source Linux drivers (Mali kbase,
+drm/v3d): they own register access, interrupts, GPU memory and job
+scheduling, and expose an ioctl-style interface upward to the runtime.
+
+Every register access, poll loop, interrupt, job kick and memory
+mapping flows through instrumented chokepoints that emit
+:mod:`repro.stack.driver.trace` events -- the ~1K-SLoC-per-family
+instrumentation of Section 4.1 that the recorder subscribes to.
+"""
+
+from repro.stack.driver.adreno_driver import AdrenoDriver
+from repro.stack.driver.base import GpuDriver
+from repro.stack.driver.mali_driver import MaliDriver
+from repro.stack.driver.memory import MemFlags, MemRegion
+from repro.stack.driver.v3d_driver import V3dDriver
+
+__all__ = ["AdrenoDriver", "GpuDriver", "MaliDriver", "MemFlags",
+           "MemRegion", "V3dDriver"]

@@ -1,0 +1,251 @@
+"""The Mali kernel driver ("kbase"-like).
+
+Implements the stock-driver behaviours the recorder taps: power-up with
+reset/ready polling, one GPU address space programmed through the AS0
+registers, two hardware job slots fed by a configurable-depth queue,
+cache maintenance by command+poll, and an interrupt handler that
+acknowledges JOB/MMU interrupt groups.
+
+``src`` tags name the corresponding location in the real driver tree so
+replay errors read like kbase errors (Section 5.4).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.errors import DriverError
+from repro.gpu import mali as hw
+from repro.soc.machine import Machine
+from repro.stack.driver.base import GpuDriver
+from repro.stack.driver.ioctl import IoctlCode
+from repro.stack.driver.memory import ContextMemory, MemFlags
+from repro.stack.driver.sched import JobQueue, JobState
+from repro.units import MS, SEC, US
+
+#: Per-page CPU cost of driver-side mapping bookkeeping.
+MAP_PAGE_NS = 300
+#: Cost of context/address-space initialization in the driver.
+CTX_INIT_NS = 2 * MS
+
+_SRC = "drivers/gpu/arm/midgard"
+
+
+class MaliDriver(GpuDriver):
+    """Driver for the Mali family (any SKU)."""
+
+    name = "mali_kbase"
+
+    def __init__(self, machine: Machine):
+        super().__init__(machine)
+        if self.gpu.family != "mali":
+            raise DriverError("MaliDriver requires a Mali GPU")
+        self.queue = JobQueue(self, hw.NUM_JOB_SLOTS, depth=hw.NUM_JOB_SLOTS)
+        self.ctx: Optional[ContextMemory] = None
+        self.mmu_faults: List[Dict[str, int]] = []
+        self._job_counter = 0
+        self.ioctls.register(IoctlCode.MEM_ALLOC, self._ioctl_mem_alloc)
+        self.ioctls.register(IoctlCode.MEM_FREE, self._ioctl_mem_free)
+        self.ioctls.register(IoctlCode.JOB_SUBMIT, self._ioctl_job_submit)
+        self.ioctls.register(IoctlCode.JOB_WAIT, self._ioctl_job_wait)
+        self.ioctls.register(IoctlCode.CACHE_FLUSH, self._ioctl_cache_flush)
+
+    # -- lifecycle --------------------------------------------------------------
+
+    def open(self) -> None:
+        if self.opened:
+            return
+        self.connect_irq()
+        gpu_id = self.reg_read("GPU_ID", f"{_SRC}/mali_kbase_hw.c:gpu_id")
+        if gpu_id != self.gpu.spec.gpu_id:
+            raise DriverError(f"unexpected GPU_ID {gpu_id:#x}")
+        self.reset_gpu()
+        self._enable_interrupts()
+        self._power_up_cores()
+        self.opened = True
+
+    def close(self) -> None:
+        if not self.opened:
+            return
+        if self.ctx is not None:
+            self.destroy_context()
+        self.reset_gpu()
+        self.disconnect_irq()
+        self.opened = False
+
+    def reset_gpu(self) -> None:
+        """Soft reset and wait for completion (kbase_pm_init_hw)."""
+        self.pending_hw_ops += 1
+        self.outstanding_jobs = 0
+        self.queue.abort_all()
+        self.reg_write("GPU_COMMAND", hw.CMD_SOFT_RESET,
+                       f"{_SRC}/mali_kbase_pm_driver.c:kbase_pm_init_hw")
+        ok = self.reg_poll("GPU_IRQ_RAWSTAT", hw.IRQ_RESET_COMPLETED,
+                           hw.IRQ_RESET_COMPLETED,
+                           f"{_SRC}/mali_kbase_pm_driver.c:reset_wait",
+                           timeout_ns=10 * MS)
+        self.pending_hw_ops -= 1
+        if not ok:
+            raise DriverError("GPU reset timed out")
+        self.reg_write("GPU_IRQ_CLEAR", hw.IRQ_RESET_COMPLETED,
+                       f"{_SRC}/mali_kbase_pm_driver.c:reset_ack")
+
+    def _enable_interrupts(self) -> None:
+        # JOB and MMU interrupt groups are IRQ-driven; GPU-group events
+        # (reset, cache flush, power) are polled on RAWSTAT instead.
+        self.reg_write("JOB_IRQ_MASK", 0xFFFFFFFF,
+                       f"{_SRC}/mali_kbase_irq_linux.c:job_mask")
+        self.reg_write("MMU_IRQ_MASK", 0xFFFFFFFF,
+                       f"{_SRC}/mali_kbase_irq_linux.c:mmu_mask")
+        self.reg_write("GPU_IRQ_MASK", 0,
+                       f"{_SRC}/mali_kbase_irq_linux.c:gpu_mask")
+
+    def _power_up_cores(self) -> None:
+        present = self.reg_read(
+            "SHADER_PRESENT", f"{_SRC}/mali_kbase_pm_driver.c:present")
+        self.pending_hw_ops += 1
+        self.reg_write("L2_PWRON", 1,
+                       f"{_SRC}/mali_kbase_pm_driver.c:l2_pwron")
+        ok = self.reg_poll("L2_READY", 1, 1,
+                           f"{_SRC}/mali_kbase_pm_driver.c:l2_ready",
+                           timeout_ns=5 * MS)
+        if not ok:
+            self.pending_hw_ops -= 1
+            raise DriverError("L2 power-up timed out")
+        self.reg_write("SHADER_PWRON", present,
+                       f"{_SRC}/mali_kbase_pm_driver.c:shader_pwron")
+        ok = self.reg_poll("SHADER_READY", present, present,
+                           f"{_SRC}/mali_kbase_pm_driver.c:shader_ready",
+                           timeout_ns=5 * MS)
+        self.pending_hw_ops -= 1
+        if not ok:
+            raise DriverError("shader core power-up timed out")
+
+    # -- context / address space -----------------------------------------------------
+
+    def create_context(self) -> ContextMemory:
+        self.require_open()
+        if self.ctx is not None:
+            raise DriverError("mali driver models a single context (AS0)")
+        self.clock.advance(CTX_INIT_NS)
+        self.ctx = ContextMemory(self.machine.memory,
+                                 self.machine.gpu_allocator,
+                                 self.gpu.mmu.fmt, tag="mali-ctx")
+        root = self.ctx.page_table.root_pa
+        self.reg_write("AS0_TRANSTAB_LO", root & 0xFFFFFFFF,
+                       f"{_SRC}/mali_kbase_mmu.c:transtab_lo")
+        self.reg_write("AS0_TRANSTAB_HI", root >> 32,
+                       f"{_SRC}/mali_kbase_mmu.c:transtab_hi")
+        self.reg_write("AS0_MEMATTR", self.gpu.spec.required_memattr,
+                       f"{_SRC}/mali_kbase_mmu.c:memattr")
+        self.reg_write("AS0_COMMAND", hw.AS_CMD_UPDATE,
+                       f"{_SRC}/mali_kbase_mmu.c:as_update")
+        return self.ctx
+
+    def destroy_context(self) -> None:
+        if self.ctx is None:
+            return
+        self.ctx.destroy()
+        self.ctx = None
+
+    def require_ctx(self) -> ContextMemory:
+        if self.ctx is None:
+            raise DriverError("no GPU context")
+        return self.ctx
+
+    # -- ioctls ---------------------------------------------------------------------------
+
+    def _ioctl_mem_alloc(self, size: int, flags: MemFlags, tag: str = ""):
+        ctx = self.require_ctx()
+        region = ctx.alloc(size, flags, tag)
+        self.clock.advance(MAP_PAGE_NS * region.num_pages)
+        self.trace_mem_map(region.va, region.num_pages, flags.value, tag,
+                           f"{_SRC}/mali_kbase_mmu.c:kbase_mmu_insert_pages")
+        # Inserting PTEs requires a TLB-visible update.
+        self.reg_write("AS0_COMMAND", hw.AS_CMD_FLUSH_PT,
+                       f"{_SRC}/mali_kbase_mmu.c:flush_pt")
+        return region.va
+
+    def _ioctl_mem_free(self, va: int):
+        ctx = self.require_ctx()
+        region = ctx.region_at(va)
+        self.trace_mem_unmap(region.va, region.num_pages,
+                             f"{_SRC}/mali_kbase_mmu.c:teardown_pages")
+        ctx.free(region.va)
+        self.reg_write("AS0_COMMAND", hw.AS_CMD_FLUSH_PT,
+                       f"{_SRC}/mali_kbase_mmu.c:flush_pt")
+
+    def _ioctl_job_submit(self, chain_va: int, affinity: int) -> int:
+        self.require_ctx()
+        return self.queue.submit(chain_va, affinity)
+
+    def _ioctl_job_wait(self, job_id: int, timeout_ns: int = 10 * SEC):
+        state = self.queue.wait(job_id, timeout_ns,
+                                src=f"{_SRC}/mali_kbase_jm.c:wait")
+        if state is JobState.FAILED:
+            raise DriverError(f"job {job_id} failed "
+                              f"(faults: {self.mmu_faults[-1:]})")
+        return state.name
+
+    def _ioctl_cache_flush(self):
+        self.flush_caches()
+
+    def flush_caches(self) -> None:
+        """Clean GPU caches by command + RAWSTAT polling (RegReadWait)."""
+        self.pending_hw_ops += 1
+        self.reg_write("GPU_COMMAND", hw.CMD_CLEAN_CACHES,
+                       f"{_SRC}/mali_kbase_instr_backend.c:clean_caches")
+        ok = self.reg_poll("GPU_IRQ_RAWSTAT", hw.IRQ_CLEAN_CACHES_COMPLETED,
+                           hw.IRQ_CLEAN_CACHES_COMPLETED,
+                           f"{_SRC}/mali_kbase_instr_backend.c:cache_wait",
+                           timeout_ns=5 * MS)
+        self.pending_hw_ops -= 1
+        if not ok:
+            raise DriverError("cache clean timed out")
+        self.reg_write("GPU_IRQ_CLEAR", hw.IRQ_CLEAN_CACHES_COMPLETED,
+                       f"{_SRC}/mali_kbase_instr_backend.c:cache_ack")
+
+    # -- hardware kick (called by the job queue) ---------------------------------------------
+
+    def kick_hardware(self, slot: int, record) -> None:
+        self._job_counter += 1
+        self.trace_job_kick(slot, record.chain_va, self._job_counter,
+                            f"{_SRC}/mali_kbase_jm_hw.c:kbase_job_hw_submit")
+        self.outstanding_jobs += 1
+        src = f"{_SRC}/mali_kbase_jm_hw.c:kick_s{slot}"
+        self.reg_write(f"JS{slot}_HEAD_LO", record.chain_va & 0xFFFFFFFF, src)
+        self.reg_write(f"JS{slot}_HEAD_HI", record.chain_va >> 32, src)
+        self.reg_write(f"JS{slot}_AFFINITY", record.affinity, src)
+        self.reg_write(f"JS{slot}_COMMAND", hw.JS_CMD_START, src)
+
+    # -- interrupt handler -----------------------------------------------------------------------
+
+    def handle_irq(self) -> None:
+        job_status = self.reg_read(
+            "JOB_IRQ_STATUS", f"{_SRC}/mali_kbase_jm_hw.c:job_irq_status")
+        if job_status:
+            self.reg_write("JOB_IRQ_CLEAR", job_status,
+                           f"{_SRC}/mali_kbase_jm_hw.c:job_irq_clear")
+            for slot in range(hw.NUM_JOB_SLOTS):
+                done = bool(job_status & (1 << slot))
+                failed = bool(job_status & (1 << (16 + slot)))
+                if not (done or failed):
+                    continue
+                self.reg_read(f"JS{slot}_STATUS",
+                              f"{_SRC}/mali_kbase_jm_hw.c:js_status")
+                self.outstanding_jobs = max(0, self.outstanding_jobs - 1)
+                self.queue.on_slot_complete(slot, failed)
+        mmu_status = self.reg_read(
+            "MMU_IRQ_STATUS", f"{_SRC}/mali_kbase_mmu_hw.c:mmu_irq_status")
+        if mmu_status:
+            fault = {
+                "status": self.reg_read(
+                    "AS0_FAULTSTATUS",
+                    f"{_SRC}/mali_kbase_mmu_hw.c:faultstatus"),
+                "address": self.reg_read(
+                    "AS0_FAULTADDRESS_LO",
+                    f"{_SRC}/mali_kbase_mmu_hw.c:faultaddress"),
+            }
+            self.mmu_faults.append(fault)
+            self.reg_write("MMU_IRQ_CLEAR", mmu_status,
+                           f"{_SRC}/mali_kbase_mmu_hw.c:mmu_irq_clear")

@@ -1,0 +1,119 @@
+"""Driver instrumentation: the trace events the recorder subscribes to.
+
+This module is the "lightweight instrumentation" of Section 4.1. The
+driver emits one event per CPU/GPU interaction chokepoint:
+
+- register reads/writes (with the volatile flag from the register map);
+- summarized polling loops (the ``wait_for`` macros of Table 2's
+  RegReadWait);
+- interrupt-context entry/exit and blocking waits for interrupts;
+- job kicks (the moment right before the start-register write -- when
+  memory dumps must be taken, Section 4.3);
+- GPU memory map/unmap operations with their allocation flags (the
+  dump-shrinking hints of Section 6.2).
+
+Each event carries a ``src`` tag naming the driver source location, so
+replay failures can be reported "as the full driver does" (Section
+5.4), and a ``gpu_busy_after`` hint from the driver's own job
+accounting, feeding the interval-skip heuristic of Section 4.5.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """Base class: timestamp, driver source tag, busy hint."""
+
+    t_ns: int
+    src: str
+    gpu_busy_after: bool
+
+
+@dataclass(frozen=True)
+class RegReadEvent(TraceEvent):
+    name: str = ""
+    value: int = 0
+    #: True for registers whose reads are nondeterministic and not
+    #: state-changing (cycle counters, thermal sensors).
+    volatile: bool = False
+
+
+@dataclass(frozen=True)
+class RegWriteEvent(TraceEvent):
+    name: str = ""
+    mask: int = 0xFFFFFFFF
+    value: int = 0
+
+
+@dataclass(frozen=True)
+class RegPollEvent(TraceEvent):
+    """A whole polling loop, summarized (RegReadWait)."""
+
+    name: str = ""
+    mask: int = 0xFFFFFFFF
+    value: int = 0
+    timeout_ns: int = 0
+    polls: int = 0
+    success: bool = True
+
+
+@dataclass(frozen=True)
+class IrqEvent(TraceEvent):
+    phase: str = "enter"  # "enter" | "exit"
+
+
+@dataclass(frozen=True)
+class WaitIrqEvent(TraceEvent):
+    """The CPU blocked waiting for a GPU interrupt."""
+
+    timeout_ns: int = 0
+
+
+@dataclass(frozen=True)
+class JobKickEvent(TraceEvent):
+    """Emitted right *before* the job-start register write."""
+
+    slot: int = 0
+    chain_va: int = 0
+    job_index: int = 0
+
+
+@dataclass(frozen=True)
+class MemMapEvent(TraceEvent):
+    va: int = 0
+    num_pages: int = 0
+    flags: int = 0
+    tag: str = ""
+
+
+@dataclass(frozen=True)
+class MemUnmapEvent(TraceEvent):
+    va: int = 0
+    num_pages: int = 0
+
+
+class DriverTracer:
+    """Receives every trace event; subclassed by the recorder."""
+
+    def emit(self, event: TraceEvent) -> None:
+        raise NotImplementedError
+
+
+class ListTracer(DriverTracer):
+    """Buffers events in a list (handy for tests and analysis)."""
+
+    def __init__(self) -> None:
+        self.events: List[TraceEvent] = []
+
+    def emit(self, event: TraceEvent) -> None:
+        self.events.append(event)
+
+    def clear(self) -> None:
+        self.events.clear()
+
+    def of_type(self, cls) -> List[TraceEvent]:
+        return [e for e in self.events if isinstance(e, cls)]

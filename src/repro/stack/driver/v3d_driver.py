@@ -1,0 +1,202 @@
+"""The v3d kernel driver (drm/v3d-like).
+
+Compared to the Mali driver: power and clocks come from the SoC
+firmware mailbox (the complexity the baremetal replayer must
+reproduce, Section 6.3); there is a single job slot, so no driver
+change is needed for synchronous submission ("NC" in Table 1); cache
+maintenance polls a control register until the hardware clears the
+flush bit.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.errors import DriverError
+from repro.gpu import v3d as hw
+from repro.soc import firmware as fw
+from repro.soc.machine import Machine
+from repro.stack.driver.base import GpuDriver
+from repro.stack.driver.ioctl import IoctlCode
+from repro.stack.driver.memory import ContextMemory, MemFlags
+from repro.stack.driver.sched import JobQueue, JobState
+from repro.units import MS, SEC
+
+MAP_PAGE_NS = 300
+CTX_INIT_NS = 1 * MS
+
+_SRC = "drivers/gpu/drm/v3d"
+
+
+class V3dDriver(GpuDriver):
+    """Driver for the v3d GPU."""
+
+    name = "v3d_drm"
+
+    def __init__(self, machine: Machine):
+        super().__init__(machine)
+        if self.gpu.family != "v3d":
+            raise DriverError("V3dDriver requires a v3d GPU")
+        self.queue = JobQueue(self, num_slots=1, depth=1)
+        self.ctx: Optional[ContextMemory] = None
+        self.mmu_faults: List[Dict[str, int]] = []
+        self._job_counter = 0
+        self.ioctls.register(IoctlCode.MEM_ALLOC, self._ioctl_mem_alloc)
+        self.ioctls.register(IoctlCode.MEM_FREE, self._ioctl_mem_free)
+        self.ioctls.register(IoctlCode.JOB_SUBMIT, self._ioctl_job_submit)
+        self.ioctls.register(IoctlCode.JOB_WAIT, self._ioctl_job_wait)
+        self.ioctls.register(IoctlCode.CACHE_FLUSH, self._ioctl_cache_flush)
+
+    # -- lifecycle ----------------------------------------------------------------
+
+    def open(self) -> None:
+        if self.opened:
+            return
+        # Firmware brings up the rail and clock before MMIO works.
+        self.machine.firmware.request(fw.TAG_SET_POWER,
+                                      hw.V3D_FIRMWARE_ID, 1)
+        self.machine.firmware.request(fw.TAG_SET_CLOCK_RATE,
+                                      hw.V3D_FIRMWARE_ID,
+                                      hw.V3D_DEFAULT_CLOCK_HZ)
+        self.connect_irq()
+        ident = self.reg_read("CTL_IDENT", f"{_SRC}/v3d_drv.c:ident")
+        if ident != hw.V3D_GPU_IDENT:
+            raise DriverError(f"unexpected v3d ident {ident:#x}")
+        self.reset_gpu()
+        self.reg_write("CTL_INT_MSK",
+                       hw.INT_FRDONE | hw.INT_CTERR | hw.INT_MMU_FAULT,
+                       f"{_SRC}/v3d_irq.c:irqs_enable")
+        self.opened = True
+
+    def close(self) -> None:
+        if not self.opened:
+            return
+        if self.ctx is not None:
+            self.destroy_context()
+        self.reset_gpu()
+        self.disconnect_irq()
+        self.machine.firmware.request(fw.TAG_SET_POWER,
+                                      hw.V3D_FIRMWARE_ID, 0)
+        self.opened = False
+
+    def reset_gpu(self) -> None:
+        self.pending_hw_ops += 1
+        self.outstanding_jobs = 0
+        self.queue.abort_all()
+        self.reg_write("CTL_RESET", 1, f"{_SRC}/v3d_gem.c:v3d_reset")
+        ok = self.reg_poll("CTL_STATUS", hw.STATUS_IDLE, hw.STATUS_IDLE,
+                           f"{_SRC}/v3d_gem.c:reset_wait", timeout_ns=5 * MS)
+        self.pending_hw_ops -= 1
+        if not ok:
+            raise DriverError("v3d reset timed out")
+
+    # -- context -------------------------------------------------------------------------
+
+    def create_context(self) -> ContextMemory:
+        self.require_open()
+        if self.ctx is not None:
+            raise DriverError("v3d driver models a single context")
+        self.clock.advance(CTX_INIT_NS)
+        self.ctx = ContextMemory(self.machine.memory,
+                                 self.machine.gpu_allocator,
+                                 self.gpu.mmu.fmt, tag="v3d-ctx")
+        root = self.ctx.page_table.root_pa
+        self.reg_write("MMU_PT_PA_BASE", root >> 12,
+                       f"{_SRC}/v3d_mmu.c:pt_base")
+        self.reg_write("MMU_CTRL",
+                       hw.MMU_CTRL_ENABLE | hw.MMU_CTRL_TLB_CLEAR,
+                       f"{_SRC}/v3d_mmu.c:mmu_enable")
+        return self.ctx
+
+    def destroy_context(self) -> None:
+        if self.ctx is None:
+            return
+        self.ctx.destroy()
+        self.ctx = None
+
+    def require_ctx(self) -> ContextMemory:
+        if self.ctx is None:
+            raise DriverError("no GPU context")
+        return self.ctx
+
+    # -- ioctls ------------------------------------------------------------------------------
+
+    def _ioctl_mem_alloc(self, size: int, flags: MemFlags, tag: str = ""):
+        ctx = self.require_ctx()
+        region = ctx.alloc(size, flags, tag)
+        self.clock.advance(MAP_PAGE_NS * region.num_pages)
+        self.trace_mem_map(region.va, region.num_pages, flags.value, tag,
+                           f"{_SRC}/v3d_mmu.c:v3d_mmu_insert_ptes")
+        self.reg_write("MMU_CTRL",
+                       hw.MMU_CTRL_ENABLE | hw.MMU_CTRL_TLB_CLEAR,
+                       f"{_SRC}/v3d_mmu.c:tlb_clear")
+        return region.va
+
+    def _ioctl_mem_free(self, va: int):
+        ctx = self.require_ctx()
+        region = ctx.region_at(va)
+        self.trace_mem_unmap(region.va, region.num_pages,
+                             f"{_SRC}/v3d_mmu.c:v3d_mmu_remove_ptes")
+        ctx.free(region.va)
+        self.reg_write("MMU_CTRL",
+                       hw.MMU_CTRL_ENABLE | hw.MMU_CTRL_TLB_CLEAR,
+                       f"{_SRC}/v3d_mmu.c:tlb_clear")
+
+    def _ioctl_job_submit(self, chain_va: int, affinity: int = 0) -> int:
+        self.require_ctx()
+        return self.queue.submit(chain_va, affinity)
+
+    def _ioctl_job_wait(self, job_id: int, timeout_ns: int = 10 * SEC):
+        state = self.queue.wait(job_id, timeout_ns,
+                                src=f"{_SRC}/v3d_sched.c:wait")
+        if state is JobState.FAILED:
+            raise DriverError(f"v3d job {job_id} failed "
+                              f"(faults: {self.mmu_faults[-1:]})")
+        return state.name
+
+    def _ioctl_cache_flush(self):
+        self.flush_caches()
+
+    def flush_caches(self) -> None:
+        """v3d_clean_caches(): set the flush bit, poll until it clears."""
+        self.pending_hw_ops += 1
+        self.reg_write("L2TCACTL", hw.L2T_FLUSH,
+                       f"{_SRC}/v3d_gem.c:v3d_clean_caches")
+        ok = self.reg_poll("L2TCACTL", hw.L2T_FLUSH, 0,
+                           f"{_SRC}/v3d_gem.c:clean_caches_wait",
+                           timeout_ns=5 * MS)
+        self.pending_hw_ops -= 1
+        if not ok:
+            raise DriverError("v3d cache clean timed out")
+
+    # -- hardware kick ------------------------------------------------------------------------
+
+    def kick_hardware(self, slot: int, record) -> None:
+        del slot  # single control-list queue
+        self._job_counter += 1
+        self.trace_job_kick(0, record.chain_va, self._job_counter,
+                            f"{_SRC}/v3d_sched.c:v3d_csd_job_run")
+        self.outstanding_jobs += 1
+        end_va = record.affinity or (record.chain_va + 1)
+        self.reg_write("CT0QBA", record.chain_va,
+                       f"{_SRC}/v3d_sched.c:ct0qba")
+        self.reg_write("CT0QEA", end_va, f"{_SRC}/v3d_sched.c:ct0qea")
+
+    # -- interrupt handler ------------------------------------------------------------------------
+
+    def handle_irq(self) -> None:
+        status = self.reg_read("CTL_INT_STS", f"{_SRC}/v3d_irq.c:int_sts")
+        if not status:
+            return
+        self.reg_write("CTL_INT_CLR", status, f"{_SRC}/v3d_irq.c:int_clr")
+        if status & hw.INT_MMU_FAULT:
+            self.mmu_faults.append({
+                "address": self.reg_read("MMU_VIO_ADDR",
+                                         f"{_SRC}/v3d_irq.c:vio_addr"),
+                "status": 1,
+            })
+        if status & (hw.INT_FRDONE | hw.INT_CTERR | hw.INT_MMU_FAULT):
+            failed = bool(status & (hw.INT_CTERR | hw.INT_MMU_FAULT))
+            if self.outstanding_jobs > 0:
+                self.outstanding_jobs -= 1
+                self.queue.on_slot_complete(0, failed)

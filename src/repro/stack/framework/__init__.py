@@ -1,0 +1,32 @@
+"""ML frameworks on top of the GPU runtimes.
+
+- :mod:`repro.stack.framework.layers` -- layer/model specifications and
+  shape inference;
+- :mod:`repro.stack.framework.lowering` -- layers -> runtime kernels
+  (with optional ACL-style layer fusion);
+- :mod:`repro.stack.framework.models` -- the NN zoo of Table 6;
+- :mod:`repro.stack.framework.base` -- the shared network runner;
+- :mod:`repro.stack.framework.acl` / ``ncnn`` / ``armnn`` / ``deepcl``
+  -- the four framework personalities of Table 3.
+"""
+
+from repro.stack.framework.acl import AclNetwork
+from repro.stack.framework.armnn import TensorflowNetwork
+from repro.stack.framework.deepcl import DeepClTrainer
+from repro.stack.framework.layers import (LayerSpec, ModelSpec,
+                                          infer_shapes, init_weights)
+from repro.stack.framework.models import MODEL_ZOO, build_model
+from repro.stack.framework.ncnn import NcnnNetwork
+
+__all__ = [
+    "AclNetwork",
+    "DeepClTrainer",
+    "LayerSpec",
+    "MODEL_ZOO",
+    "ModelSpec",
+    "NcnnNetwork",
+    "TensorflowNetwork",
+    "build_model",
+    "infer_shapes",
+    "init_weights",
+]

@@ -1,0 +1,32 @@
+"""The ACL-like framework (Arm Compute Library personality).
+
+Pairs with the OpenCL (or GLES-compute) runtime on Mali. Distinctive
+behaviours the evaluation relies on: optional *layer fusion* (the
+middle recording granularity of Figure 11) and relatively light
+framework init -- on Mali the startup bottleneck is the runtime's
+shader compilation, not the framework (Figure 6).
+"""
+
+from __future__ import annotations
+
+from repro.errors import FrameworkError
+from repro.stack.framework.base import NetworkRunner
+from repro.stack.framework.layers import ModelSpec
+from repro.stack.runtime.base import ComputeRuntime
+from repro.units import MS
+
+
+class AclNetwork(NetworkRunner):
+    """arm_compute::CLGraph-like network runner."""
+
+    framework_name = "acl"
+    INIT_NS = 120 * MS
+    PER_LAYER_BUILD_NS = 2 * MS
+    LAYER_SYNC_NS = 350 * 1000
+
+    def __init__(self, runtime: ComputeRuntime, model: ModelSpec,
+                 fuse: bool = False):
+        if runtime.api_name not in ("opencl", "gles-compute"):
+            raise FrameworkError(
+                f"ACL needs an OpenCL/GLES runtime, got {runtime.api_name}")
+        super().__init__(runtime, model, fuse)

@@ -1,0 +1,33 @@
+"""The TensorFlow-model path (ArmNN-delegate personality).
+
+Table 3's fourth Mali-compatible stack: "Tensorflow + ACL + OpenCL".
+A TensorFlow(-Lite-like) model is parsed and delegated to ACL kernels;
+the extra parse/convert work happens once at configure time.
+"""
+
+from __future__ import annotations
+
+from repro.errors import FrameworkError
+from repro.stack.framework.acl import AclNetwork
+from repro.stack.framework.layers import ModelSpec
+from repro.stack.runtime.base import ComputeRuntime
+from repro.units import MS
+
+
+class TensorflowNetwork(AclNetwork):
+    """A TF model executed through the ArmNN -> ACL delegate path."""
+
+    framework_name = "tensorflow-armnn"
+    #: TF graph parse + ArmNN conversion dominate framework init.
+    INIT_NS = 320 * MS
+    PER_LAYER_BUILD_NS = 4 * MS
+
+    def __init__(self, runtime: ComputeRuntime, model: ModelSpec,
+                 fuse: bool = True):
+        # The delegate always hands ACL fused subgraphs.
+        super().__init__(runtime, model, fuse)
+
+    def configure(self) -> None:
+        if not self.model.layers:
+            raise FrameworkError("empty TF graph")
+        super().configure()

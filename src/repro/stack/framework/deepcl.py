@@ -1,0 +1,235 @@
+"""The DeepCL-like training framework.
+
+Models the paper's NN-training workload (Figure 8): MNIST training on
+DeepCL + OpenCL, which "already submits jobs synchronously with
+CLFlush()". Each training iteration is a fixed, branch-free job
+sequence -- forward, loss gradient, backward, SGD updates -- while the
+convergence predicate P runs on the CPU between iterations, exactly the
+record/replay split of Section 3.1.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.errors import FrameworkError
+from repro.gpu.isa import Op
+from repro.gpu.shader_exec import compute_op
+from repro.stack.runtime.base import Buffer, ComputeRuntime
+from repro.stack.runtime.kernel_ir import KernelIR, KernelOp
+from repro.units import MS
+
+
+@dataclass(frozen=True)
+class TrainSpec:
+    """An MLP classifier training setup."""
+
+    name: str
+    input_dim: int
+    hidden_dims: Tuple[int, ...]
+    classes: int
+    batch: int
+    lr: float = 0.1
+    seed: int = 11
+
+    def layer_dims(self) -> List[Tuple[int, int]]:
+        dims = [self.input_dim, *self.hidden_dims, self.classes]
+        return list(zip(dims[:-1], dims[1:]))
+
+
+def mnist_train_spec(batch: int = 16) -> TrainSpec:
+    """The paper's MNIST training benchmark, scaled down."""
+    return TrainSpec("mnist-train", input_dim=64, hidden_dims=(32,),
+                     classes=10, batch=batch)
+
+
+class DeepClTrainer:
+    """Builds and runs one training iteration as a fixed GPU job list."""
+
+    framework_name = "deepcl"
+    INIT_NS = 380 * MS  # parameter parsing + net building
+    #: Per-job CPU work each iteration: kernel-argument marshalling,
+    #: dimension recomputation and the CLFlush bookkeeping DeepCL does
+    #: around every enqueue -- the overhead GR's replay removes
+    #: ("avoids DeepCL and the OpenCL runtime", Figure 8).
+    PER_JOB_SETUP_NS = 120 * 1000
+
+    def __init__(self, runtime: ComputeRuntime, spec: TrainSpec):
+        if runtime.api_name != "opencl":
+            raise FrameworkError("DeepCL runs on the OpenCL runtime")
+        self.runtime = runtime
+        self.spec = spec
+        self.buffers: Dict[str, Buffer] = {}
+        self.kernels: List = []
+        self.configured = False
+        self.startup_ns = 0
+
+    # -- graph construction ------------------------------------------------------
+
+    def _iteration_kernels(self) -> List[KernelIR]:
+        """The branch-free job sequence of one iteration."""
+        spec = self.spec
+        B = spec.batch
+        dims = spec.layer_dims()
+        n = len(dims)
+        shapes: Dict[str, Tuple[int, ...]] = {
+            "x": (B, spec.input_dim),
+            "y": (B, spec.classes),
+            "loss": (1,),
+        }
+        for i, (d_in, d_out) in enumerate(dims, start=1):
+            shapes[f"w{i}"] = (d_in, d_out)
+            shapes[f"b{i}"] = (d_out,)
+            shapes[f"z{i}"] = (B, d_out)
+            shapes[f"a{i}"] = (B, d_out)
+            shapes[f"dz{i}"] = (B, d_out)
+            shapes[f"da{i}"] = (B, d_out)
+            shapes[f"dw{i}"] = (d_in, d_out)
+            shapes[f"db{i}"] = (d_out,)
+
+        def k(name: str, op: KernelOp) -> KernelIR:
+            slots = {s: shapes[s] for s in op.operand_order()}
+            return KernelIR(name, [op], slots)
+
+        kernels: List[KernelIR] = []
+        # Forward.
+        act_in = "x"
+        for i in range(1, n + 1):
+            kernels.append(k(f"fwd{i}", KernelOp(
+                Op.DENSE, (act_in, f"w{i}", f"b{i}"), f"z{i}")))
+            if i < n:
+                kernels.append(k(f"act{i}", KernelOp(
+                    Op.RELU, (f"z{i}",), f"a{i}")))
+                act_in = f"a{i}"
+        # Loss gradient at the output.
+        kernels.append(k("loss", KernelOp(
+            Op.SOFTMAX_XENT_GRAD, (f"z{n}", "y"), f"dz{n}",
+            extra_outputs=("loss",))))
+        # Backward.
+        for i in range(n, 0, -1):
+            fwd_in = "x" if i == 1 else f"a{i - 1}"
+            kernels.append(k(f"gw{i}", KernelOp(
+                Op.DENSE_GRAD_W, (fwd_in, f"dz{i}"), f"dw{i}")))
+            kernels.append(k(f"gb{i}", KernelOp(
+                Op.DENSE_GRAD_B, (f"dz{i}",), f"db{i}")))
+            if i > 1:
+                kernels.append(k(f"gx{i}", KernelOp(
+                    Op.DENSE_GRAD_X, (f"dz{i}", f"w{i}"), f"da{i - 1}")))
+                kernels.append(k(f"gr{i - 1}", KernelOp(
+                    Op.RELU_GRAD, (f"z{i - 1}", f"da{i - 1}"),
+                    f"dz{i - 1}")))
+        # SGD updates (in place: output binds the same buffer).
+        lr = (self.spec.lr,)
+        for i in range(1, n + 1):
+            kernels.append(k(f"upw{i}", KernelOp(
+                Op.SGD_UPDATE, (f"w{i}", f"dw{i}"), f"w{i}", lr)))
+            kernels.append(k(f"upb{i}", KernelOp(
+                Op.SGD_UPDATE, (f"b{i}", f"db{i}"), f"b{i}", lr)))
+        return kernels
+
+    def initial_weights(self) -> Dict[str, np.ndarray]:
+        rng = np.random.default_rng(self.spec.seed)
+        out: Dict[str, np.ndarray] = {}
+        for i, (d_in, d_out) in enumerate(self.spec.layer_dims(), start=1):
+            out[f"w{i}"] = (rng.standard_normal((d_in, d_out))
+                            * np.sqrt(2.0 / d_in)).astype(np.float32)
+            out[f"b{i}"] = np.zeros(d_out, dtype=np.float32)
+        return out
+
+    # -- lifecycle -----------------------------------------------------------------
+
+    def configure(self) -> None:
+        if self.configured:
+            raise FrameworkError("trainer already configured")
+        clock = self.runtime.clock
+        t0 = clock.now()
+        clock.advance(self.INIT_NS)
+        if not self.runtime.initialized:
+            self.runtime.init_context()
+        # DeepCL submits synchronously (CLFlush between jobs).
+        self.runtime.set_sync_submission(True)
+        irs = self._iteration_kernels()
+        slot_shapes: Dict[str, Tuple[int, ...]] = {}
+        for ir in irs:
+            slot_shapes.update(ir.shapes)
+        for slot, shape in slot_shapes.items():
+            self.buffers[slot] = self.runtime.create_buffer(shape, tag=slot)
+        for name, array in self.initial_weights().items():
+            self.runtime.write_buffer(self.buffers[name], array)
+        self.kernels = [self.runtime.compile_kernel(ir) for ir in irs]
+        self.startup_ns = clock.now() - t0
+        self.configured = True
+
+    def release(self) -> None:
+        self.runtime.release()
+        self.buffers.clear()
+        self.kernels.clear()
+        self.configured = False
+
+    # -- training --------------------------------------------------------------------
+
+    def run_iteration(self, x: np.ndarray, y_onehot: np.ndarray) -> float:
+        """One forward/backward/update pass; returns the loss."""
+        if not self.configured:
+            raise FrameworkError("configure() not called")
+        self.runtime.write_buffer(self.buffers["x"], x)
+        self.runtime.write_buffer(self.buffers["y"], y_onehot)
+        for kernel in self.kernels:
+            self.runtime.clock.advance(self.PER_JOB_SETUP_NS)
+            self.runtime.enqueue(kernel, self.buffers)
+        self.runtime.finish()
+        return float(self.runtime.read_buffer(self.buffers["loss"])[0])
+
+    def train(self, x: np.ndarray, y_onehot: np.ndarray,
+              max_iters: int = 20,
+              target_loss: Optional[float] = None) -> List[float]:
+        """Iterate until convergence; the predicate P runs on the CPU."""
+        losses: List[float] = []
+        for _ in range(max_iters):
+            losses.append(self.run_iteration(x, y_onehot))
+            if target_loss is not None and losses[-1] <= target_loss:
+                break
+        return losses
+
+    # -- CPU reference -------------------------------------------------------------------
+
+    @staticmethod
+    def reference_train(spec: TrainSpec, weights: Dict[str, np.ndarray],
+                        x: np.ndarray, y_onehot: np.ndarray,
+                        iters: int) -> Tuple[Dict[str, np.ndarray],
+                                             List[float]]:
+        """Numpy training loop with identical op semantics."""
+        w = {k: v.copy() for k, v in weights.items()}
+        n = len(spec.layer_dims())
+        losses: List[float] = []
+        for _ in range(iters):
+            acts = {"x": x}
+            act_in = "x"
+            z: Dict[int, np.ndarray] = {}
+            for i in range(1, n + 1):
+                z[i] = compute_op(Op.DENSE,
+                                  [acts[act_in], w[f"w{i}"], w[f"b{i}"]],
+                                  ())[0]
+                if i < n:
+                    acts[f"a{i}"] = compute_op(Op.RELU, [z[i]], ())[0]
+                    act_in = f"a{i}"
+            dz, loss = compute_op(Op.SOFTMAX_XENT_GRAD, [z[n], y_onehot], ())
+            losses.append(float(loss[0]))
+            dzs = {n: dz}
+            for i in range(n, 0, -1):
+                fwd_in = x if i == 1 else acts[f"a{i - 1}"]
+                dw = compute_op(Op.DENSE_GRAD_W, [fwd_in, dzs[i]], ())[0]
+                db = compute_op(Op.DENSE_GRAD_B, [dzs[i]], ())[0]
+                if i > 1:
+                    da = compute_op(Op.DENSE_GRAD_X,
+                                    [dzs[i], w[f"w{i}"]], ())[0]
+                    dzs[i - 1] = compute_op(Op.RELU_GRAD,
+                                            [z[i - 1], da], ())[0]
+                w[f"w{i}"] = compute_op(Op.SGD_UPDATE,
+                                        [w[f"w{i}"], dw], (spec.lr,))[0]
+                w[f"b{i}"] = compute_op(Op.SGD_UPDATE,
+                                        [w[f"b{i}"], db], (spec.lr,))[0]
+        return w, losses

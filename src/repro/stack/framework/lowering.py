@@ -1,0 +1,228 @@
+"""Lowering: network layers -> runtime kernels.
+
+Two modes, matching the recording-granularity study (Figure 11):
+
+- **unfused** -- each layer becomes several kernels (data reformat,
+  main compute, activation), mirroring the "5-6 GPU jobs per NN layer"
+  the paper observes from ACL;
+- **fused** -- ACL-style layer fusion collapses a layer into a single
+  kernel whose ops share internal slots.
+
+The same lowering drives the GPU runners *and* the CPU reference
+executor, so their op sequences are identical by construction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from repro.errors import FrameworkError
+from repro.gpu.isa import Op
+from repro.stack.framework.layers import (LayerSpec, ModelSpec, Shape,
+                                          infer_shapes, resolve_inputs,
+                                          weight_shapes)
+from repro.stack.runtime.kernel_ir import KernelIR, KernelOp
+
+_ACT_OPS = {
+    "relu": Op.RELU,
+    "relu6": Op.RELU6,
+    "leaky": Op.LEAKY_RELU,
+    "sigmoid": Op.SIGMOID,
+    "tanh": Op.TANH,
+}
+
+_SIMPLE_OPS = {
+    "relu": Op.RELU,
+    "relu6": Op.RELU6,
+    "leaky": Op.LEAKY_RELU,
+    "sigmoid": Op.SIGMOID,
+    "tanh": Op.TANH,
+    "softmax": Op.SOFTMAX,
+    "upsample": Op.UPSAMPLE2X,
+    "flatten": Op.FLATTEN,
+}
+
+
+@dataclass
+class LayerKernels:
+    """Kernels implementing one layer."""
+
+    layer: LayerSpec
+    kernels: List[KernelIR]
+
+
+def _out_slot(layer_name: str) -> str:
+    return "input" if layer_name == "input" else f"{layer_name}:out"
+
+
+def lower_layer(layer: LayerSpec, srcs: Tuple[str, ...],
+                shapes: Dict[str, Shape], wshapes: Dict[str, Shape],
+                fuse: bool) -> List[KernelIR]:
+    """Lower one layer, given producer layer names and global shapes."""
+    in_slots = [_out_slot(s) for s in srcs]
+    in_shapes = [shapes[s] for s in srcs]
+    out_slot = _out_slot(layer.name)
+    out_shape = shapes[layer.name]
+    kind = layer.kind
+    name = layer.name
+
+    def ir(suffix: str, ops: List[KernelOp],
+           slots: Dict[str, Shape]) -> KernelIR:
+        return KernelIR(f"{name}:{suffix}", ops, slots)
+
+    if kind in ("conv", "dwconv"):
+        main_op = Op.CONV2D if kind == "conv" else Op.DWCONV2D
+        params = (float(layer.param("stride", 1)),
+                  float(layer.param("pad", 0)))
+        w, b = f"{name}.w", f"{name}.b"
+        act = layer.activation
+        slots = {in_slots[0]: in_shapes[0], w: wshapes[w], b: wshapes[b],
+                 out_slot: out_shape}
+        if fuse:
+            ops = [KernelOp(main_op, (in_slots[0], w, b),
+                            f"{name}:t0" if act else out_slot, params)]
+            if act:
+                slots[f"{name}:t0"] = out_shape
+                ops.append(KernelOp(_ACT_OPS[act], (f"{name}:t0",),
+                                    out_slot))
+            return [ir("fused", ops, slots)]
+        # Unfused: reformat + conv + activation as separate jobs.
+        kernels = []
+        slots_r = {in_slots[0]: in_shapes[0], f"{name}:im": in_shapes[0]}
+        kernels.append(ir("reformat", [KernelOp(
+            Op.COPY, (in_slots[0],), f"{name}:im")], slots_r))
+        conv_out = f"{name}:pre" if act else out_slot
+        slots_c = {f"{name}:im": in_shapes[0], w: wshapes[w],
+                   b: wshapes[b], conv_out: out_shape}
+        kernels.append(ir("main", [KernelOp(
+            main_op, (f"{name}:im", w, b), conv_out, params)], slots_c))
+        if act:
+            slots_a = {f"{name}:pre": out_shape, out_slot: out_shape}
+            kernels.append(ir("act", [KernelOp(
+                _ACT_OPS[act], (f"{name}:pre",), out_slot)], slots_a))
+        return kernels
+
+    if kind == "dense":
+        w, b = f"{name}.w", f"{name}.b"
+        act = layer.activation
+        slots = {in_slots[0]: in_shapes[0], w: wshapes[w], b: wshapes[b],
+                 out_slot: out_shape}
+        if fuse:
+            ops = [KernelOp(Op.DENSE, (in_slots[0], w, b),
+                            f"{name}:t0" if act else out_slot)]
+            if act:
+                slots[f"{name}:t0"] = out_shape
+                ops.append(KernelOp(_ACT_OPS[act], (f"{name}:t0",),
+                                    out_slot))
+            return [ir("fused", ops, slots)]
+        kernels = []
+        slots_r = {in_slots[0]: in_shapes[0], f"{name}:im": in_shapes[0]}
+        kernels.append(ir("reformat", [KernelOp(
+            Op.COPY, (in_slots[0],), f"{name}:im")], slots_r))
+        dense_out = f"{name}:pre" if act else out_slot
+        slots_d = {f"{name}:im": in_shapes[0], w: wshapes[w],
+                   b: wshapes[b], dense_out: out_shape}
+        kernels.append(ir("main", [KernelOp(
+            Op.DENSE, (f"{name}:im", w, b), dense_out)], slots_d))
+        if act:
+            slots_a = {f"{name}:pre": out_shape, out_slot: out_shape}
+            kernels.append(ir("act", [KernelOp(
+                _ACT_OPS[act], (f"{name}:pre",), out_slot)], slots_a))
+        return kernels
+
+    if kind in ("maxpool", "avgpool"):
+        op = Op.MAXPOOL if kind == "maxpool" else Op.AVGPOOL
+        k = float(layer.param("k"))
+        stride = float(layer.param("stride", layer.param("k")))
+        slots = {in_slots[0]: in_shapes[0], out_slot: out_shape}
+        main = KernelOp(op, (in_slots[0],), out_slot, (k, stride))
+        if fuse:
+            return [ir("fused", [main], slots)]
+        kernels = [ir("reformat", [KernelOp(
+            Op.COPY, (in_slots[0],), f"{name}:im")],
+            {in_slots[0]: in_shapes[0], f"{name}:im": in_shapes[0]})]
+        kernels.append(ir("main", [KernelOp(
+            op, (f"{name}:im",), out_slot, (k, stride))],
+            {f"{name}:im": in_shapes[0], out_slot: out_shape}))
+        return kernels
+
+    if kind == "gap":
+        slots = {in_slots[0]: in_shapes[0], out_slot: out_shape}
+        return [ir("main", [KernelOp(Op.GLOBALAVGPOOL, (in_slots[0],),
+                                     out_slot)], slots)]
+
+    if kind == "lrn":
+        params = (float(layer.param("n", 5)),
+                  float(layer.param("alpha", 1e-4)),
+                  float(layer.param("beta", 0.75)),
+                  float(layer.param("bias", 2.0)))
+        slots = {in_slots[0]: in_shapes[0], out_slot: out_shape}
+        return [ir("main", [KernelOp(Op.LRN, (in_slots[0],), out_slot,
+                                     params)], slots)]
+
+    if kind == "pad":
+        slots = {in_slots[0]: in_shapes[0], out_slot: out_shape}
+        return [ir("main", [KernelOp(Op.PAD, (in_slots[0],), out_slot,
+                                     (float(layer.param("pad")),))], slots)]
+
+    if kind == "concat":
+        slots = dict(zip(in_slots, in_shapes))
+        slots[out_slot] = out_shape
+        return [ir("main", [KernelOp(Op.CONCAT, tuple(in_slots),
+                                     out_slot)], slots)]
+
+    if kind == "add":
+        slots = dict(zip(in_slots, in_shapes))
+        slots[out_slot] = out_shape
+        return [ir("main", [KernelOp(Op.ADD, tuple(in_slots), out_slot)],
+                   slots)]
+
+    if kind in _SIMPLE_OPS:
+        params: Tuple[float, ...] = ()
+        if kind == "leaky":
+            params = (float(layer.param("slope", 0.1)),)
+        slots = {in_slots[0]: in_shapes[0], out_slot: out_shape}
+        return [ir("main", [KernelOp(_SIMPLE_OPS[kind], (in_slots[0],),
+                                     out_slot, params)], slots)]
+
+    raise FrameworkError(f"cannot lower layer kind {kind!r}")
+
+
+def lower_model(model: ModelSpec, fuse: bool = False) -> List[LayerKernels]:
+    """Lower a whole model; per-layer kernel groups, in layer order."""
+    shapes = infer_shapes(model)
+    slot_shapes = {"input": model.input_shape}
+    for layer in model.layers:
+        slot_shapes[layer.name] = shapes[layer.name]
+    wshapes = weight_shapes(model)
+    inputs = resolve_inputs(model)
+    out: List[LayerKernels] = []
+    for layer in model.layers:
+        kernels = lower_layer(layer, inputs[layer.name], slot_shapes,
+                              wshapes, fuse)
+        out.append(LayerKernels(layer, kernels))
+    return out
+
+
+def model_slot_shapes(model: ModelSpec,
+                      fuse: bool = False) -> Dict[str, Shape]:
+    """Union of every slot shape the lowered model references."""
+    merged: Dict[str, Shape] = {}
+    for group in lower_model(model, fuse):
+        for kernel in group.kernels:
+            for slot, shape in kernel.shapes.items():
+                existing = merged.get(slot)
+                if existing is not None and existing != shape:
+                    raise FrameworkError(
+                        f"slot {slot!r} has conflicting shapes "
+                        f"{existing} vs {shape}")
+                merged[slot] = shape
+    return merged
+
+
+def job_count(model: ModelSpec, fuse: bool = False) -> int:
+    """Number of GPU jobs one inference submits (Table 6 '#Jobs')."""
+    return sum(len(g.kernels) for g in lower_model(model, fuse))

@@ -1,0 +1,328 @@
+"""The NN model zoo.
+
+Scaled-down but structurally faithful versions of the networks in the
+paper's Table 6 plus additional recordings mentioned in Table 3 (the
+Mali prototype records 18 inference workloads). Channel counts and
+spatial sizes are shrunk so simulation stays fast; layer *structure*
+(depth, routes, fire modules, residual adds, upsample+concat heads) is
+preserved, because GPUReplay's behaviour depends on job-graph shape,
+not on parameter count.
+
+Every model's job graph is branch-free at the job level (Section 3.1):
+fire modules, skips and routes are unconditional multi-input layers.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from repro.errors import FrameworkError
+from repro.stack.framework.layers import LayerSpec, ModelSpec
+
+
+def _conv(name: str, oc: int, k: int = 3, stride: int = 1, pad: int = 1,
+          act: str = "relu", inputs=None) -> LayerSpec:
+    params = {"out_channels": oc, "k": k, "stride": stride, "pad": pad}
+    if act:
+        params["act"] = act
+    return LayerSpec(name, "conv", params, inputs)
+
+
+def _dense(name: str, units: int, act: str = None) -> LayerSpec:
+    params = {"units": units}
+    if act:
+        params["act"] = act
+    return LayerSpec(name, "dense", params)
+
+
+def _pool(name: str, k: int = 2, inputs=None) -> LayerSpec:
+    return LayerSpec(name, "maxpool", {"k": k, "stride": k}, inputs)
+
+
+def mnist() -> ModelSpec:
+    """A small MNIST convnet (the paper's smallest workload)."""
+    layers = [
+        _conv("conv1", 8, k=3, pad=1),
+        _pool("pool1"),
+        LayerSpec("flat", "flatten"),
+        _dense("fc1", 32, act="relu"),
+        _dense("fc2", 10),
+        LayerSpec("prob", "softmax"),
+    ]
+    return ModelSpec("mnist", (1, 16, 16), layers,
+                     description="4-weighted-layer MNIST convnet")
+
+
+def lenet5() -> ModelSpec:
+    layers = [
+        _conv("c1", 6, k=5, pad=2),
+        _pool("s2"),
+        _conv("c3", 16, k=5, pad=0),
+        _pool("s4"),
+        LayerSpec("flat", "flatten"),
+        _dense("f5", 32, act="relu"),
+        _dense("f6", 16, act="relu"),
+        _dense("out", 10),
+        LayerSpec("prob", "softmax"),
+    ]
+    return ModelSpec("lenet5", (1, 16, 16), layers,
+                     description="classic LeNet-5")
+
+
+def alexnet() -> ModelSpec:
+    """5 convs (two with LRN) + 3 FCs, like the original 8 layers."""
+    layers = [
+        _conv("conv1", 12, k=3, stride=1, pad=1),
+        LayerSpec("lrn1", "lrn", {"n": 5}),
+        _pool("pool1"),
+        _conv("conv2", 16, k=3, pad=1),
+        LayerSpec("lrn2", "lrn", {"n": 5}),
+        _pool("pool2"),
+        _conv("conv3", 24, k=3, pad=1),
+        _conv("conv4", 24, k=3, pad=1),
+        _conv("conv5", 16, k=3, pad=1),
+        _pool("pool3"),
+        LayerSpec("flat", "flatten"),
+        _dense("fc6", 64, act="relu"),
+        _dense("fc7", 48, act="relu"),
+        _dense("fc8", 10),
+        LayerSpec("prob", "softmax"),
+    ]
+    return ModelSpec("alexnet", (3, 32, 32), layers,
+                     description="8-weighted-layer AlexNet")
+
+
+def mobilenet() -> ModelSpec:
+    """Depthwise-separable stack: 13 dw/pw pairs behind a stem conv."""
+    layers: List[LayerSpec] = [
+        _conv("stem", 8, k=3, stride=2, pad=1, act="relu6")]
+    channels = [8, 16, 16, 24, 24, 32, 32, 32, 32, 32, 32, 48, 48]
+    strides = [1, 2, 1, 2, 1, 2, 1, 1, 1, 1, 1, 1, 1]
+    for i, (c, s) in enumerate(zip(channels, strides), start=1):
+        layers.append(LayerSpec(
+            f"dw{i}", "dwconv",
+            {"k": 3, "stride": s, "pad": 1, "act": "relu6"}))
+        layers.append(_conv(f"pw{i}", c, k=1, pad=0, act="relu6"))
+    layers += [
+        LayerSpec("gap", "gap"),
+        _dense("fc", 10),
+        LayerSpec("prob", "softmax"),
+    ]
+    return ModelSpec("mobilenet", (3, 32, 32), layers,
+                     description="28-layer MobileNetV1-style network")
+
+
+def _fire(idx: int, inp: str, squeeze: int, expand: int) -> List[LayerSpec]:
+    """A SqueezeNet fire module: squeeze 1x1 -> two expand branches."""
+    s = f"fire{idx}_s"
+    e1 = f"fire{idx}_e1"
+    e3 = f"fire{idx}_e3"
+    return [
+        _conv(s, squeeze, k=1, pad=0, inputs=(inp,)),
+        _conv(e1, expand, k=1, pad=0, inputs=(s,)),
+        _conv(e3, expand, k=3, pad=1, inputs=(s,)),
+        LayerSpec(f"fire{idx}", "concat", {}, (e1, e3)),
+    ]
+
+
+def squeezenet() -> ModelSpec:
+    """Fire modules with their unconditional 'branches' (Section 3.1)."""
+    layers: List[LayerSpec] = [
+        _conv("conv1", 8, k=3, stride=2, pad=1),
+        _pool("pool1"),
+    ]
+    layers += _fire(2, "pool1", 4, 8)
+    layers += _fire(3, "fire2", 4, 8)
+    layers.append(_pool("pool3", inputs=("fire3",)))
+    layers += _fire(4, "pool3", 6, 12)
+    layers += _fire(5, "fire4", 6, 12)
+    layers += [
+        _conv("conv10", 10, k=1, pad=0, inputs=("fire5",)),
+        LayerSpec("gap", "gap"),
+        LayerSpec("prob", "softmax"),
+    ]
+    return ModelSpec("squeezenet", (3, 32, 32), layers,
+                     description="SqueezeNet with 4 fire modules")
+
+
+def _residual_block(idx: int, inp: str, channels: int) -> List[LayerSpec]:
+    a = f"res{idx}a"
+    b = f"res{idx}b"
+    return [
+        _conv(a, channels, k=3, pad=1, inputs=(inp,)),
+        _conv(b, channels, k=3, pad=1, act=None, inputs=(a,)),
+        LayerSpec(f"add{idx}", "add", {}, (b, inp)),
+        LayerSpec(f"res{idx}", "relu", {}, (f"add{idx}",)),
+    ]
+
+
+def _resnet(name: str, blocks: int) -> ModelSpec:
+    layers: List[LayerSpec] = [_conv("stem", 8, k=3, pad=1)]
+    prev = "stem"
+    for i in range(1, blocks + 1):
+        layers += _residual_block(i, prev, 8)
+        prev = f"res{i}"
+    layers += [
+        LayerSpec("gap", "gap", {}, (prev,)),
+        _dense("fc", 10),
+        LayerSpec("prob", "softmax"),
+    ]
+    return ModelSpec(name, (3, 16, 16), layers,
+                     description=f"ResNet with {blocks} residual blocks")
+
+
+def resnet12() -> ModelSpec:
+    return _resnet("resnet12", 5)
+
+
+def resnet18() -> ModelSpec:
+    return _resnet("resnet18", 8)
+
+
+def vgg16() -> ModelSpec:
+    """13 convs + 3 FCs with the VGG pool rhythm."""
+    cfg = [(8, False), (8, True), (16, False), (16, True),
+           (24, False), (24, False), (24, True), (32, False),
+           (32, False), (32, True), (32, False), (32, False), (32, True)]
+    layers: List[LayerSpec] = []
+    pools = 0
+    for i, (c, pool_after) in enumerate(cfg, start=1):
+        layers.append(_conv(f"conv{i}", c, k=3, pad=1))
+        if pool_after:
+            pools += 1
+            layers.append(_pool(f"pool{pools}"))
+    layers += [
+        LayerSpec("flat", "flatten"),
+        _dense("fc1", 64, act="relu"),
+        _dense("fc2", 64, act="relu"),
+        _dense("fc3", 10),
+        LayerSpec("prob", "softmax"),
+    ]
+    return ModelSpec("vgg16", (3, 32, 32), layers,
+                     description="16-weighted-layer VGG")
+
+
+def yolov4_tiny() -> ModelSpec:
+    """Backbone + route concats + upsample head, YOLOv4-tiny style."""
+    layers = [
+        _conv("c1", 8, k=3, stride=2, pad=1, act="leaky"),
+        _conv("c2", 16, k=3, stride=2, pad=1, act="leaky"),
+        _conv("c3", 16, k=3, pad=1, act="leaky"),
+        _conv("c4", 8, k=1, pad=0, act="leaky", inputs=("c3",)),
+        _conv("c5", 8, k=3, pad=1, act="leaky", inputs=("c4",)),
+        LayerSpec("route1", "concat", {}, ("c4", "c5")),
+        _conv("c6", 16, k=1, pad=0, act="leaky", inputs=("route1",)),
+        _pool("mp1", inputs=("c6",)),
+        _conv("c7", 24, k=3, pad=1, act="leaky"),
+        _conv("c8", 12, k=1, pad=0, act="leaky", inputs=("c7",)),
+        _conv("c9", 12, k=3, pad=1, act="leaky", inputs=("c8",)),
+        LayerSpec("route2", "concat", {}, ("c8", "c9")),
+        _conv("c10", 24, k=1, pad=0, act="leaky", inputs=("route2",)),
+        _pool("mp2", inputs=("c10",)),
+        _conv("c11", 32, k=3, pad=1, act="leaky"),
+        _conv("head1", 16, k=1, pad=0, act=None, inputs=("c11",)),
+        LayerSpec("up1", "upsample", {}, ("head1",)),
+        LayerSpec("route3", "concat", {}, ("up1", "c10")),
+        _conv("head2", 16, k=3, pad=1, act="leaky", inputs=("route3",)),
+        LayerSpec("flat", "flatten"),
+        _dense("det", 10),
+        LayerSpec("prob", "softmax"),
+    ]
+    return ModelSpec("yolov4-tiny", (3, 32, 32), layers,
+                     description="YOLOv4-tiny-style detector head")
+
+
+def googlenet_lite() -> ModelSpec:
+    """Two inception-style modules (more unconditional 'branches')."""
+
+    def inception(idx: int, inp: str, c1: int, c3: int) -> List[LayerSpec]:
+        a = f"inc{idx}_1x1"
+        b0 = f"inc{idx}_3x3r"
+        b = f"inc{idx}_3x3"
+        return [
+            _conv(a, c1, k=1, pad=0, inputs=(inp,)),
+            _conv(b0, c1, k=1, pad=0, inputs=(inp,)),
+            _conv(b, c3, k=3, pad=1, inputs=(b0,)),
+            LayerSpec(f"inc{idx}", "concat", {}, (a, b)),
+        ]
+
+    layers: List[LayerSpec] = [
+        _conv("stem", 8, k=3, stride=2, pad=1),
+        _pool("pool1"),
+    ]
+    layers += inception(1, "pool1", 8, 8)
+    layers += inception(2, "inc1", 8, 16)
+    layers += [
+        LayerSpec("gap", "gap", {}, ("inc2",)),
+        _dense("fc", 10),
+        LayerSpec("prob", "softmax"),
+    ]
+    return ModelSpec("googlenet-lite", (3, 32, 32), layers,
+                     description="GoogLeNet-style inception routes")
+
+
+def kws_mlp() -> ModelSpec:
+    """Keyword-spotting MLP (a common always-on mobile workload)."""
+    layers = [
+        LayerSpec("flat", "flatten"),
+        _dense("fc1", 64, act="relu"),
+        _dense("fc2", 32, act="relu"),
+        _dense("fc3", 12),
+        LayerSpec("prob", "softmax"),
+    ]
+    return ModelSpec("kws", (1, 10, 25), layers,
+                     description="keyword spotting MLP on MFCC features")
+
+
+def har_mlp() -> ModelSpec:
+    """Human-activity recognition from IMU windows."""
+    layers = [
+        LayerSpec("flat", "flatten"),
+        _dense("fc1", 48, act="relu"),
+        _dense("fc2", 24, act="tanh"),
+        _dense("fc3", 6),
+        LayerSpec("prob", "softmax"),
+    ]
+    return ModelSpec("har", (3, 8, 16), layers,
+                     description="activity recognition MLP")
+
+
+def autoencoder() -> ModelSpec:
+    """Anomaly-detection autoencoder (predictive maintenance)."""
+    layers = [
+        LayerSpec("flat", "flatten"),
+        _dense("enc1", 32, act="relu"),
+        _dense("enc2", 8, act="relu"),
+        _dense("dec1", 32, act="relu"),
+        _dense("dec2", 64, act="sigmoid"),
+    ]
+    return ModelSpec("autoencoder", (1, 8, 8), layers,
+                     description="dense autoencoder, 64-dim input")
+
+
+MODEL_ZOO: Dict[str, Callable[[], ModelSpec]] = {
+    "mnist": mnist,
+    "lenet5": lenet5,
+    "alexnet": alexnet,
+    "mobilenet": mobilenet,
+    "squeezenet": squeezenet,
+    "resnet12": resnet12,
+    "resnet18": resnet18,
+    "vgg16": vgg16,
+    "yolov4-tiny": yolov4_tiny,
+    "googlenet-lite": googlenet_lite,
+    "kws": kws_mlp,
+    "har": har_mlp,
+    "autoencoder": autoencoder,
+}
+
+
+def build_model(name: str) -> ModelSpec:
+    try:
+        builder = MODEL_ZOO[name]
+    except KeyError:
+        raise FrameworkError(
+            f"unknown model {name!r}; zoo: {sorted(MODEL_ZOO)}")
+    model = builder()
+    model.validate()
+    return model

@@ -1,0 +1,31 @@
+"""The ncnn-like framework (Tencent ncnn personality).
+
+Pairs with the Vulkan runtime on v3d. Its expensive configure phase --
+model loading and per-layer Vulkan *pipeline building* -- is the v3d
+startup bottleneck of Figure 6 ("v3d is [bottlenecked] at the framework
+(ncnn) loading NNs and optimizing pipelines").
+"""
+
+from __future__ import annotations
+
+from repro.errors import FrameworkError
+from repro.stack.framework.base import NetworkRunner
+from repro.stack.framework.layers import ModelSpec
+from repro.stack.runtime.base import ComputeRuntime
+from repro.units import MS
+
+
+class NcnnNetwork(NetworkRunner):
+    """ncnn::Net-like network runner."""
+
+    framework_name = "ncnn"
+    INIT_NS = 600 * MS
+    PER_LAYER_BUILD_NS = 28 * MS
+    LAYER_SYNC_NS = 80 * 1000
+
+    def __init__(self, runtime: ComputeRuntime, model: ModelSpec,
+                 fuse: bool = False):
+        if runtime.api_name != "vulkan":
+            raise FrameworkError(
+                f"ncnn requires the Vulkan runtime, got {runtime.api_name}")
+        super().__init__(runtime, model, fuse)

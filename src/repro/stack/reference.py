@@ -1,0 +1,43 @@
+"""CPU reference execution of zoo models.
+
+Runs the *same lowering* as the GPU path but interprets the kernel ops
+directly on numpy arrays -- no runtime, no driver, no GPU. Because the
+op semantics are shared (:func:`repro.gpu.shader_exec.compute_op`),
+the GPU/replay results must match this reference bit-for-bit, which is
+the ground truth the Section 7.2 validation compares against.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.errors import FrameworkError
+from repro.gpu.shader_exec import compute_op
+from repro.stack.framework.layers import ModelSpec, init_weights
+from repro.stack.framework.lowering import lower_model
+
+
+def run_reference(model: ModelSpec, x: np.ndarray,
+                  weights: Optional[Dict[str, np.ndarray]] = None,
+                  fuse: bool = True) -> np.ndarray:
+    """One inference of ``model`` on the CPU; returns the output tensor."""
+    if tuple(x.shape) != tuple(model.input_shape):
+        raise FrameworkError(
+            f"{model.name}: input shape {x.shape} != {model.input_shape}")
+    arrays: Dict[str, np.ndarray] = {
+        "input": np.ascontiguousarray(x, dtype=np.float32)}
+    arrays.update(weights if weights is not None else init_weights(model))
+    for group in lower_model(model, fuse):
+        for kernel in group.kernels:
+            for op in kernel.ops:
+                inputs = [arrays[s] for s in op.inputs]
+                results = compute_op(op.op, inputs, op.params)
+                for slot, value in zip(op.all_outputs(), results):
+                    # Stores reshape to the declared slot shape, exactly
+                    # as the GPU's _store does.
+                    arrays[slot] = np.ascontiguousarray(
+                        value, dtype=np.float32).reshape(
+                            kernel.shapes[slot])
+    return arrays[f"{model.output_layer().name}:out"]

@@ -1,0 +1,25 @@
+"""GPU runtimes: the proprietary middle of the stack.
+
+These model libmali/libvulkan_broadcom: they own a driver connection,
+JIT-compile kernels from an IR into shader bytecode, allocate GPU
+buffers through ioctls, and *emit job binaries directly into mmap'd GPU
+memory* -- bypassing the driver, which is why the recorder can only see
+the result in memory at job-kick time (Section 4.3).
+"""
+
+from repro.stack.runtime.base import Buffer, CompiledKernel, ComputeRuntime
+from repro.stack.runtime.gles import GlesComputeRuntime
+from repro.stack.runtime.kernel_ir import KernelIR, KernelOp
+from repro.stack.runtime.opencl import OpenClRuntime
+from repro.stack.runtime.vulkan import VulkanRuntime
+
+__all__ = [
+    "Buffer",
+    "CompiledKernel",
+    "ComputeRuntime",
+    "GlesComputeRuntime",
+    "KernelIR",
+    "KernelOp",
+    "OpenClRuntime",
+    "VulkanRuntime",
+]

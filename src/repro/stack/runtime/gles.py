@@ -1,0 +1,22 @@
+"""The GLES-compute-like runtime (third Mali-compatible API of Table 3).
+
+GLES compute shaders compile through the GL shader front-end, which is
+even slower per kernel than OpenCL; everything else is shared with the
+base runtime.
+"""
+
+from __future__ import annotations
+
+from repro.stack.runtime.base import ComputeRuntime
+from repro.units import MS, US
+
+
+class GlesComputeRuntime(ComputeRuntime):
+    """glCreateProgram / glDispatchCompute-like."""
+
+    api_name = "gles-compute"
+    LIB_LOAD_NS = 300 * MS
+    MEM_INIT_NS = 100 * MS
+    COMPILE_BASE_NS = 24 * MS
+    COMPILE_PER_OP_NS = 8 * MS
+    ENQUEUE_EMIT_NS = 40 * US

@@ -1,0 +1,97 @@
+"""The runtime's kernel intermediate representation.
+
+An ML framework lowers each network layer into one or more
+:class:`KernelIR` objects: small op lists over *symbolic* buffer slots.
+The runtime JIT-compiles an IR once (expensive -- the startup
+bottleneck the paper measures on Mali) and then, per enqueue, binds the
+slots to concrete GPU buffers and emits position-dependent shader
+bytecode.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from repro.errors import CompileError
+from repro.gpu.isa import Op
+from repro.gpu.shader_exec import output_arity
+
+
+@dataclass(frozen=True)
+class KernelOp:
+    """One IR op over symbolic buffer slot names."""
+
+    op: Op
+    inputs: Tuple[str, ...]
+    output: str
+    params: Tuple[float, ...] = ()
+    #: Additional outputs beyond ``output`` (e.g. the loss scalar of
+    #: SOFTMAX_XENT_GRAD).
+    extra_outputs: Tuple[str, ...] = ()
+
+    def all_outputs(self) -> Tuple[str, ...]:
+        return (self.output,) + self.extra_outputs
+
+    def operand_order(self) -> Tuple[str, ...]:
+        """Slot names in ISA operand order (inputs, then outputs)."""
+        return self.inputs + self.all_outputs()
+
+
+@dataclass
+class KernelIR:
+    """A compilable kernel: ops plus the shapes of every slot."""
+
+    name: str
+    ops: List[KernelOp]
+    shapes: Dict[str, Tuple[int, ...]]
+
+    def validate(self) -> None:
+        if not self.ops:
+            raise CompileError(f"kernel {self.name}: empty op list")
+        for op in self.ops:
+            expected_outputs = output_arity(op.op)
+            if len(op.all_outputs()) != expected_outputs:
+                raise CompileError(
+                    f"kernel {self.name}: {op.op.name} needs "
+                    f"{expected_outputs} outputs, got "
+                    f"{len(op.all_outputs())}")
+            for slot in op.operand_order():
+                if slot not in self.shapes:
+                    raise CompileError(
+                        f"kernel {self.name}: slot {slot!r} has no shape")
+
+    def slot_names(self) -> List[str]:
+        seen: Dict[str, None] = {}
+        for op in self.ops:
+            for slot in op.operand_order():
+                seen.setdefault(slot)
+        return list(seen)
+
+    def external_inputs(self) -> List[str]:
+        """Slots read before any op in this kernel writes them."""
+        written: set = set()
+        external: List[str] = []
+        for op in self.ops:
+            for slot in op.inputs:
+                if slot not in written and slot not in external:
+                    external.append(slot)
+            written.update(op.all_outputs())
+        return external
+
+    def final_outputs(self) -> List[str]:
+        """Slots written and never consumed afterwards inside the kernel."""
+        outputs: List[str] = []
+        all_written = []
+        for op in self.ops:
+            all_written.extend(op.all_outputs())
+        consumed_after: Dict[str, bool] = {s: False for s in all_written}
+        for i, op in enumerate(self.ops):
+            for slot in op.all_outputs():
+                for later in self.ops[i + 1:]:
+                    if slot in later.inputs:
+                        consumed_after[slot] = True
+        for slot in all_written:
+            if not consumed_after[slot] and slot not in outputs:
+                outputs.append(slot)
+        return outputs

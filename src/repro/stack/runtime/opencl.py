@@ -1,0 +1,25 @@
+"""The OpenCL-like runtime (libmali-style).
+
+Cost profile modelled on the paper's Mali observations: a very large
+runtime binary (48 MB libmali.so) with slow library load and expensive
+online shader compilation -- Figure 6 attributes Mali's seconds-scale
+startup mostly to the runtime compiling shaders and allocating memory.
+"""
+
+from __future__ import annotations
+
+from repro.stack.runtime.base import ComputeRuntime
+from repro.units import MS, US
+
+
+class OpenClRuntime(ComputeRuntime):
+    """clCreateContext / clBuildProgram / clEnqueueNDRangeKernel-like."""
+
+    api_name = "opencl"
+    LIB_LOAD_NS = 350 * MS
+    MEM_INIT_NS = 140 * MS
+    COMPILE_BASE_NS = 18 * MS
+    COMPILE_PER_OP_NS = 6 * MS
+    ENQUEUE_EMIT_NS = 30 * US
+    #: libmali.so is a 48 MB executable; mapped + its heap arenas.
+    LIB_RSS_BYTES = 170 * 1024 * 1024

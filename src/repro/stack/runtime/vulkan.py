@@ -1,0 +1,29 @@
+"""The Vulkan-like runtime (libvulkan_broadcom-style).
+
+Lighter library and cheaper per-kernel pipeline creation than the
+OpenCL runtime; on v3d the startup bottleneck sits *above* the runtime,
+in the framework's pipeline building (Figure 6) -- modelled in
+:mod:`repro.stack.framework.ncnn`.
+"""
+
+from __future__ import annotations
+
+from repro.stack.runtime.base import ComputeRuntime
+from repro.units import MS, US
+
+
+class VulkanRuntime(ComputeRuntime):
+    """vkCreateDevice / vkCreateComputePipelines-like."""
+
+    api_name = "vulkan"
+    LIB_LOAD_NS = 120 * MS
+    MEM_INIT_NS = 45 * MS
+    COMPILE_BASE_NS = 7 * MS
+    COMPILE_PER_OP_NS = 2 * MS
+    ENQUEUE_EMIT_NS = 20 * US
+    #: The Broadcom Vulkan driver sub-allocates command/shader memory
+    #: from 64 KiB buffer objects; the v3d recorder's conservative
+    #: whole-region dumps therefore capture many zero pages (the
+    #: "larger but highly compressible" recordings of Section 7.3).
+    JOB_REGION_GRANULE = 64 * 1024
+    LIB_RSS_BYTES = 90 * 1024 * 1024

@@ -1,0 +1,1 @@
+"""Command-line tooling around recording files (the ``grr`` command)."""

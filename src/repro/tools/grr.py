@@ -1,0 +1,243 @@
+"""``grr`` -- inspect, verify and patch GPUReplay recording files.
+
+Subcommands::
+
+    grr info <file>                       summary + metadata + sizes
+    grr actions <file> [--limit N]        the replay-action stream
+    grr verify <file> --board BOARD       run the §5.1 static verifier
+    grr patch <file> --target-sku SKU -o OUT   cross-SKU patch (§6.4)
+
+Runs entirely offline on the recording file; ``verify`` builds the
+target board's machine only to obtain its register map.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.core import actions as act
+from repro.core.patching import patch_recording_for_sku
+from repro.core.recording import Recording
+from repro.core.verifier import verify_recording
+from repro.errors import ReproError, VerificationError
+from repro.soc import BOARDS, Machine
+from repro.units import MIB, fmt_bytes, fmt_ns
+
+
+def _load(path: str) -> Recording:
+    with open(path, "rb") as handle:
+        return Recording.from_bytes(handle.read())
+
+
+def _describe_action(action: act.Action) -> str:
+    name = type(action).__name__
+    if isinstance(action, act.RegWrite):
+        detail = (f"{action.reg} <- {action.val:#x}"
+                  + (" [KICK]" if action.is_job_kick else ""))
+    elif isinstance(action, act.RegReadOnce):
+        detail = f"{action.reg} == {action.val:#x}" \
+            + (" (ignored)" if action.ignore else "")
+    elif isinstance(action, act.RegReadWait):
+        detail = (f"{action.reg} & {action.mask:#x} == {action.val:#x} "
+                  f"within {fmt_ns(action.timeout_ns)}")
+    elif isinstance(action, act.MapGpuMem):
+        detail = f"va {action.addr:#x} x{action.num_pages} pages " \
+            f"(pte flags {action.raw_pte_flags:#x})"
+    elif isinstance(action, act.UnmapGpuMem):
+        detail = f"va {action.addr:#x} x{action.num_pages} pages"
+    elif isinstance(action, act.Upload):
+        detail = f"dump #{action.dump_index} -> va {action.addr:#x}"
+    elif isinstance(action, act.WaitIrq):
+        detail = f"timeout {fmt_ns(action.timeout_ns)}"
+    elif isinstance(action, act.SetGpuPgtable):
+        detail = f"memattr {action.memattr:#x}"
+    elif isinstance(action, (act.CopyToGpu, act.CopyFromGpu)):
+        detail = f"{action.buffer_name} @ {action.gaddr:#x} " \
+            f"({action.size} B)"
+    else:
+        detail = ""
+    pace = f" +{fmt_ns(action.min_interval_ns)}" \
+        if action.min_interval_ns else ""
+    return f"{name:<14} {detail}{pace}"
+
+
+def cmd_info(args) -> int:
+    recording = _load(args.file)
+    meta = recording.meta
+    print(f"recording: {args.file}")
+    print(f"  workload:   {meta.workload} "
+          f"({meta.framework} + {meta.api})")
+    print(f"  recorded on: {meta.gpu_model} / {meta.board} "
+          f"(page tables: {meta.pte_format}, memattr {meta.memattr:#x})")
+    print(f"  jobs:       {meta.n_jobs}")
+    print(f"  actions:    {len(recording.actions)} "
+          f"(prologue {meta.prologue_len})")
+    print(f"  reg I/O:    {meta.reg_io}")
+    print(f"  dumps:      {len(recording.dumps)} "
+          f"({fmt_bytes(recording.dump_bytes())})")
+    print(f"  GPU memory: "
+          f"{fmt_bytes(recording.peak_gpu_pages() * 4096)} peak")
+    print(f"  size:       {fmt_bytes(recording.size_unzipped())} raw, "
+          f"{fmt_bytes(recording.size_zipped())} zipped")
+    for io in meta.inputs:
+        kind = "optional input" if io.optional else "input"
+        print(f"  {kind:>14}: {io.name} @ {io.gaddr:#x} "
+              f"({io.size} B, shape {io.shape})")
+    for io in meta.outputs:
+        print(f"  {'output':>14}: {io.name} @ {io.gaddr:#x} "
+              f"({io.size} B, shape {io.shape})")
+    if meta.power_sequence:
+        print(f"  firmware power sequence: "
+              f"{len(meta.power_sequence)} calls (baremetal bring-up)")
+    return 0
+
+
+def cmd_actions(args) -> int:
+    recording = _load(args.file)
+    actions = recording.actions[:args.limit] if args.limit else \
+        recording.actions
+    for index, action in enumerate(actions):
+        job = f"j{action.job_index:<3}" if action.job_index else "    "
+        print(f"{index:5d} {job} {_describe_action(action)}")
+    remaining = len(recording.actions) - len(actions)
+    if remaining > 0:
+        print(f"... {remaining} more (raise --limit)")
+    return 0
+
+
+def cmd_verify(args) -> int:
+    recording = _load(args.file)
+    if args.board not in BOARDS:
+        print(f"unknown board {args.board!r}; "
+              f"known: {', '.join(sorted(BOARDS))}")
+        return 2
+    machine = Machine.create(args.board, seed=0)
+    register_names = {d.name for d in machine.gpu.regs.defs()}
+    max_bytes = args.max_gpu_mb * MIB if args.max_gpu_mb else None
+    try:
+        report = verify_recording(recording, register_names,
+                                  max_gpu_bytes=max_bytes)
+    except VerificationError as error:
+        print(f"REJECTED: {error}")
+        return 1
+    print(f"OK: {report.actions} actions verified against "
+          f"{machine.gpu.model_name}")
+    print(f"  registers used: {len(report.registers_used)}")
+    print(f"  peak GPU memory: {fmt_bytes(report.peak_mapped_bytes)}")
+    for warning in report.warnings:
+        print(f"  warning: {warning}")
+    return 0
+
+
+def cmd_replay(args) -> int:
+    """Replay a recording on a fresh simulated board with random input."""
+    import numpy as np
+
+    from repro.core.replayer import Replayer
+    from repro.environments.base import host_kernel_configures_gpu
+
+    recording = _load(args.file)
+    board = args.board or recording.meta.board
+    if board not in BOARDS:
+        print(f"unknown board {board!r}; "
+              f"known: {', '.join(sorted(BOARDS))}")
+        return 2
+    machine = Machine.create(board, seed=args.seed)
+    host_kernel_configures_gpu(machine)
+    replayer = Replayer(machine)
+    replayer.init()
+    replayer.load(recording)
+    rng = np.random.default_rng(args.seed)
+    inputs = {}
+    for io in recording.meta.inputs:
+        if io.optional:
+            continue
+        shape = io.shape or (io.size // 4,)
+        inputs[io.name] = rng.standard_normal(shape).astype(np.float32)
+    result = replayer.replay(inputs=inputs)
+    print(f"replayed {recording.meta.workload} on "
+          f"{machine.gpu.model_name}: {result.stats.jobs_kicked} jobs, "
+          f"{result.stats.actions_executed} actions in "
+          f"{fmt_ns(result.duration_ns)} virtual "
+          f"(attempt {result.attempts})")
+    for name, value in result.outputs.items():
+        flat = value.reshape(-1)
+        preview = ", ".join(f"{v:.4f}" for v in flat[:6])
+        suffix = ", ..." if flat.size > 6 else ""
+        print(f"  output {name} {tuple(value.shape)}: "
+              f"[{preview}{suffix}]")
+    replayer.cleanup()
+    return 0
+
+
+def cmd_patch(args) -> int:
+    recording = _load(args.file)
+    patched, report = patch_recording_for_sku(
+        recording, args.target_sku,
+        patch_affinity=not args.no_affinity)
+    with open(args.output, "wb") as handle:
+        handle.write(patched.to_bytes())
+    print(f"patched {report.source_sku} -> {report.target_sku}: "
+          f"{report.pte_entries_rewritten} PTE entries, "
+          f"memattr={'yes' if report.memattr_patched else 'no'}, "
+          f"{report.affinity_writes_patched} affinity writes")
+    for note in report.notes:
+        print(f"  note: {note}")
+    print(f"wrote {args.output}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="grr", description="GPUReplay recording tool")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    info = sub.add_parser("info", help="summarize a recording")
+    info.add_argument("file")
+    info.set_defaults(func=cmd_info)
+
+    actions = sub.add_parser("actions", help="list replay actions")
+    actions.add_argument("file")
+    actions.add_argument("--limit", type=int, default=40)
+    actions.set_defaults(func=cmd_actions)
+
+    verify = sub.add_parser("verify", help="run the static verifier")
+    verify.add_argument("file")
+    verify.add_argument("--board", required=True,
+                        help=", ".join(sorted(BOARDS)))
+    verify.add_argument("--max-gpu-mb", type=int, default=None)
+    verify.set_defaults(func=cmd_verify)
+
+    replay = sub.add_parser(
+        "replay", help="replay on a fresh simulated board")
+    replay.add_argument("file")
+    replay.add_argument("--board", default=None,
+                        help="defaults to the recording's board")
+    replay.add_argument("--seed", type=int, default=2026)
+    replay.set_defaults(func=cmd_replay)
+
+    patch = sub.add_parser("patch", help="cross-SKU patch (Mali)")
+    patch.add_argument("file")
+    patch.add_argument("--target-sku", required=True)
+    patch.add_argument("--no-affinity", action="store_true")
+    patch.add_argument("-o", "--output", required=True)
+    patch.set_defaults(func=cmd_patch)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        return args.func(args)
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+    except OSError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

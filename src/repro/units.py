@@ -1,0 +1,55 @@
+"""Time and size unit helpers used across the simulation.
+
+All simulated time is integer nanoseconds on the virtual clock; all
+simulated sizes are bytes. These constants keep call sites readable
+(``clock.advance(5 * MS)``) without floating-point drift.
+"""
+
+from __future__ import annotations
+
+# Time units (nanoseconds).
+NS = 1
+US = 1_000
+MS = 1_000_000
+SEC = 1_000_000_000
+
+# Size units (bytes).
+KIB = 1024
+MIB = 1024 * 1024
+GIB = 1024 * 1024 * 1024
+
+
+def fmt_ns(ns: int) -> str:
+    """Render a nanosecond duration as a human-readable string."""
+    if ns >= SEC:
+        return f"{ns / SEC:.3f} s"
+    if ns >= MS:
+        return f"{ns / MS:.3f} ms"
+    if ns >= US:
+        return f"{ns / US:.3f} us"
+    return f"{ns} ns"
+
+
+def fmt_bytes(n: int) -> str:
+    """Render a byte count as a human-readable string."""
+    if n >= GIB:
+        return f"{n / GIB:.2f} GiB"
+    if n >= MIB:
+        return f"{n / MIB:.2f} MiB"
+    if n >= KIB:
+        return f"{n / KIB:.2f} KiB"
+    return f"{n} B"
+
+
+def align_up(value: int, alignment: int) -> int:
+    """Round ``value`` up to the next multiple of ``alignment``."""
+    if alignment <= 0:
+        raise ValueError(f"alignment must be positive, got {alignment}")
+    return (value + alignment - 1) // alignment * alignment
+
+
+def align_down(value: int, alignment: int) -> int:
+    """Round ``value`` down to a multiple of ``alignment``."""
+    if alignment <= 0:
+        raise ValueError(f"alignment must be positive, got {alignment}")
+    return value - (value % alignment)

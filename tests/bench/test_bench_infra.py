@@ -1,0 +1,119 @@
+"""The experiment harness plumbing: tables, cache, workload builders."""
+
+import pytest
+
+from repro.bench.harness import ResultTable, cached, clear_recording_cache, geomean
+from repro.bench.workloads import (board_for_family, build_stack,
+                                   model_input, saxpy_ir, vecadd_ir)
+from repro.errors import ReproError
+
+
+class TestResultTable:
+    def make(self):
+        table = ResultTable("t", ["a", "b"])
+        table.add_row(a=1, b=2.5)
+        table.add_row(a="x", b=0.125)
+        return table
+
+    def test_add_row_requires_all_columns(self):
+        table = ResultTable("t", ["a", "b"])
+        with pytest.raises(ValueError):
+            table.add_row(a=1)
+
+    def test_column_extraction(self):
+        assert self.make().column("a") == [1, "x"]
+
+    def test_row_for(self):
+        table = self.make()
+        assert table.row_for("a", "x")["b"] == 0.125
+        with pytest.raises(KeyError):
+            table.row_for("a", "missing")
+
+    def test_render_contains_everything(self):
+        table = self.make()
+        table.notes.append("a note")
+        text = table.render()
+        assert "t" in text.splitlines()[0]
+        assert "2.500" in text  # floats formatted
+        assert "note: a note" in text
+
+    def test_render_aligns_columns(self):
+        lines = self.make().render().splitlines()
+        header, divider = lines[1], lines[2]
+        assert len(header) == len(divider)
+
+
+class TestCache:
+    def test_cached_produces_once(self):
+        calls = []
+
+        def produce():
+            calls.append(1)
+            return "value"
+
+        key = ("unit-test", "cache", 1)
+        assert cached(key, produce) == "value"
+        assert cached(key, produce) == "value"
+        assert len(calls) == 1
+
+    def test_clear(self):
+        calls = []
+        key = ("unit-test", "cache", 2)
+        cached(key, lambda: calls.append(1))
+        clear_recording_cache()
+        cached(key, lambda: calls.append(1))
+        assert len(calls) == 2
+
+
+class TestGeomean:
+    def test_basic(self):
+        assert abs(geomean([1.0, 4.0]) - 2.0) < 1e-9
+        assert geomean([]) == 0.0
+        assert geomean([3.0]) == 3.0
+
+
+class TestWorkloadBuilders:
+    def test_board_for_family(self):
+        assert board_for_family("mali") == "hikey960"
+        assert board_for_family("v3d") == "raspberrypi4"
+        assert board_for_family("adreno") == "pixel4"
+        with pytest.raises(ReproError):
+            board_for_family("nvidia")
+
+    def test_model_input_deterministic(self):
+        import numpy as np
+        assert np.array_equal(model_input("mnist", seed=3),
+                              model_input("mnist", seed=3))
+        assert model_input("mnist").shape == (1, 16, 16)
+
+    def test_math_kernel_irs_validate(self):
+        vecadd_ir(128).validate()
+        ir = saxpy_ir(64)
+        ir.validate()
+        assert ir.external_inputs() == ["x", "y"]
+        assert ir.final_outputs() == ["out"]
+
+    def test_build_stack_adreno(self):
+        stack = build_stack("adreno", "mnist", seed=901)
+        assert stack.machine.gpu.family == "adreno"
+        assert stack.net.configured
+
+
+class TestReportTool:
+    def test_report_runs_a_cheap_experiment(self, capsys):
+        from repro.bench.report import run
+        run(["tab05"])
+        out = capsys.readouterr().out
+        assert "[tab05]" in out
+        assert "CVE-2019-20577" in out
+
+    def test_report_prefix_matching(self, capsys):
+        from repro.bench.report import run
+        run(["tab04"])
+        out = capsys.readouterr().out
+        assert "codebase comparison" in out
+
+    def test_report_unknown_name(self, capsys):
+        from repro.bench.report import run
+        run(["fig99"])
+        assert "unknown experiment" in capsys.readouterr().out

@@ -1,0 +1,112 @@
+"""Conditional NNs: CPU-evaluated branches over recordings (§3.1)."""
+
+import numpy as np
+import pytest
+
+from repro.bench.workloads import (fresh_replay_machine, get_recorded,
+                                   model_input)
+from repro.core.conditional import ConditionalReplayApp
+from repro.errors import ReplayError
+from repro.stack.framework import build_model
+from repro.stack.reference import run_reference
+
+
+@pytest.fixture(scope="module")
+def branches():
+    """Two independently-recorded NNs acting as branch bodies."""
+    small, _ = get_recorded("mali", "mnist")
+    large, _ = get_recorded("mali", "lenet5")
+    return {"small": small.recording, "large": large.recording}
+
+
+@pytest.fixture
+def app(branches):
+    machine = fresh_replay_machine("mali", seed=401)
+
+    def selector(x):
+        # A CPU-evaluated condition: route by input energy.
+        return "large" if float(np.abs(x).mean()) > 1.0 else "small"
+
+    return ConditionalReplayApp(machine, branches, selector)
+
+
+class TestConditionalReplay:
+    def test_selector_routes_and_results_match_reference(self, app):
+        quiet = model_input("mnist", seed=1) * 0.1
+        loud = model_input("mnist", seed=2) * 5.0
+
+        result = app.run(quiet)
+        expected = run_reference(build_model("mnist"), quiet, fuse=False)
+        assert np.array_equal(result.output,
+                              expected.reshape(result.output.shape))
+        assert app.branch_counts == {"small": 1, "large": 0}
+
+        result = app.run(loud)
+        expected = run_reference(build_model("lenet5"), loud, fuse=False)
+        assert np.array_equal(result.output,
+                              expected.reshape(result.output.shape))
+        assert app.branch_counts == {"small": 1, "large": 1}
+        assert app.switches == 1
+
+    def test_same_branch_reuses_session(self, app):
+        x = model_input("mnist", seed=3) * 0.1
+        app.run(x)
+        app.run(x)
+        assert app.switches == 0
+
+    def test_alternating_branches_keep_correct(self, app):
+        mnist = build_model("mnist")
+        lenet = build_model("lenet5")
+        for i in range(4):
+            x = model_input("mnist", seed=10 + i) * (0.1 if i % 2 else 5.0)
+            result = app.run(x)
+            model = lenet if i % 2 == 0 else mnist
+            expected = run_reference(model, x, fuse=False)
+            assert np.array_equal(
+                result.output, expected.reshape(result.output.shape))
+        assert app.switches == 3
+
+    def test_explicit_branch_api(self, app):
+        x = model_input("mnist", seed=20)
+        result = app.run_branch("small", {"input": x})
+        expected = run_reference(build_model("mnist"), x, fuse=False)
+        assert np.array_equal(result.output,
+                              expected.reshape(result.output.shape))
+
+    def test_unknown_branch_rejected(self, app):
+        with pytest.raises(ReplayError):
+            app.run_branch("medium", {"input": model_input("mnist")})
+
+    def test_branch_accepts_serialized_bytes(self, branches):
+        machine = fresh_replay_machine("mali", seed=402)
+        app = ConditionalReplayApp(
+            machine, {"only": branches["small"].to_bytes()})
+        x = model_input("mnist", seed=5)
+        result = app.run_branch("only", {"input": x})
+        expected = run_reference(build_model("mnist"), x, fuse=False)
+        assert np.array_equal(result.output,
+                              expected.reshape(result.output.shape))
+
+    def test_branch_accepts_recording_chain(self):
+        workload, _ = get_recorded("mali", "mnist", fuse=True,
+                                   granularity="layer")
+        machine = fresh_replay_machine("mali", seed=403)
+        app = ConditionalReplayApp(machine,
+                                   {"chain": workload.recordings})
+        x = model_input("mnist", seed=6)
+        result = app.run_branch("chain", {"input": x})
+        expected = run_reference(build_model("mnist"), x, fuse=True)
+        assert np.array_equal(result.output,
+                              expected.reshape(result.output.shape))
+
+    def test_empty_branches_rejected(self):
+        machine = fresh_replay_machine("mali", seed=404)
+        with pytest.raises(ReplayError):
+            ConditionalReplayApp(machine, {})
+
+    def test_run_without_selector_rejected(self, branches):
+        machine = fresh_replay_machine("mali", seed=405)
+        app = ConditionalReplayApp(machine,
+                                   {"small": branches["small"]})
+        with pytest.raises(ReplayError):
+            app.run(model_input("mnist"))

@@ -1,0 +1,173 @@
+"""The record harness and cross-SKU patching."""
+
+import numpy as np
+import pytest
+
+from repro.bench.workloads import fresh_replay_machine, get_recorded
+from repro.core import actions as act
+from repro.core.harness import (record_inference, record_kernel_workload,
+                                record_training_iteration)
+from repro.core.patching import patch_recording_for_sku
+from repro.core.replayer import Replayer
+from repro.errors import RecordingError, ReplayError
+from repro.gpu.isa import Op
+from repro.soc import Machine
+from repro.stack.driver import MaliDriver
+from repro.stack.framework import build_model
+from repro.stack.framework.deepcl import DeepClTrainer, mnist_train_spec
+from repro.stack.reference import run_reference
+from repro.stack.runtime import OpenClRuntime
+from repro.stack.runtime.kernel_ir import KernelIR, KernelOp
+
+
+class TestRecordInference:
+    def test_io_discovered_by_taint(self, mali_mnist_recorded):
+        workload, stack = mali_mnist_recorded
+        recording = workload.recording
+        assert [io.name for io in recording.meta.inputs] == ["input"]
+        assert [io.name for io in recording.meta.outputs] == ["output"]
+        # Discovered addresses equal the framework's actual buffers --
+        # which the recorder never saw directly.
+        assert recording.meta.inputs[0].gaddr == \
+            stack.net.buffers["input"].va
+        out_name = f"{stack.net.model.output_layer().name}:out"
+        assert recording.meta.outputs[0].gaddr == \
+            stack.net.buffers[out_name].va
+
+    def test_metadata_populated(self, mali_mnist_recorded):
+        workload, _stack = mali_mnist_recorded
+        meta = workload.recording.meta
+        assert meta.gpu_model == "mali-g71"
+        assert meta.api == "opencl"
+        assert meta.framework == "acl"
+        assert meta.n_jobs == workload.total_jobs()
+        assert meta.reg_io > 0
+
+    def test_layer_granularity_counts(self):
+        workload, stack = get_recorded("mali", "mnist", fuse=True,
+                                       granularity="layer")
+        assert len(workload.recordings) == len(stack.net.model.layers)
+        assert workload.total_jobs() == stack.net.job_count_per_run()
+        # Only the first recording takes input; only the last yields
+        # output.
+        assert workload.recordings[0].meta.inputs
+        assert workload.recordings[-1].meta.outputs
+        for middle in workload.recordings[1:-1]:
+            assert not middle.meta.inputs and not middle.meta.outputs
+
+    def test_unknown_granularity_rejected(self, mali_mnist_recorded):
+        _workload, stack = mali_mnist_recorded
+        with pytest.raises(RecordingError):
+            record_inference(stack.net, granularity="per-instruction")
+
+    def test_record_stats(self, mali_mnist_recorded):
+        workload, _ = mali_mnist_recorded
+        assert workload.record_stats["total_intervals"] > 0
+        assert workload.recording is workload.recordings[0]
+
+
+class TestRecordTraining:
+    def test_training_io(self):
+        machine = Machine.create("hikey960", seed=161)
+        trainer = DeepClTrainer(OpenClRuntime(MaliDriver(machine)),
+                                mnist_train_spec(batch=8))
+        trainer.configure()
+        workload = record_training_iteration(trainer)
+        meta = workload.recording.meta
+        names = {io.name: io for io in meta.inputs}
+        assert not names["x"].optional
+        assert not names["y"].optional
+        assert names["w1"].optional  # deposited only on iteration 1
+        assert [io.name for io in meta.outputs] == ["loss"]
+
+
+class TestRecordKernel:
+    def test_multi_input_kernel_discovery(self):
+        machine = Machine.create("hikey960", seed=162)
+        runtime = OpenClRuntime(MaliDriver(machine))
+        runtime.init_context()
+        ir = KernelIR("axpy", [
+            KernelOp(Op.SCALE, ("x",), "t", (2.0,)),
+            KernelOp(Op.ADD, ("t", "y"), "out"),
+        ], {"x": (64,), "y": (64,), "t": (64,), "out": (64,)})
+        workload = record_kernel_workload(runtime, ir, "axpy")
+        meta = workload.recording.meta
+        assert {io.name for io in meta.inputs} == {"x", "y"}
+        assert {io.name for io in meta.outputs} == {"out"}
+        # Replay it on a fresh machine.
+        replayer = Replayer(fresh_replay_machine("mali", seed=163))
+        replayer.init()
+        replayer.load(workload.recording)
+        x = np.arange(64, dtype=np.float32)
+        y = np.ones(64, dtype=np.float32)
+        result = replayer.replay(inputs={"x": x, "y": y})
+        assert np.array_equal(result.outputs["out"], 2 * x + y)
+
+
+class TestPatching:
+    @pytest.fixture(scope="class")
+    def g31_workload(self):
+        return get_recorded("mali", "mnist", fuse=True,
+                            board="odroid-c4")
+
+    def test_unpatched_g31_recording_fails_on_g71(self, g31_workload):
+        workload, _ = g31_workload
+        replayer = Replayer(fresh_replay_machine("mali", seed=164,
+                                                 board="hikey960"))
+        replayer.init()
+        replayer.load(workload.recording)
+        x = np.random.default_rng(1).standard_normal(
+            workload.input_shape).astype(np.float32)
+        with pytest.raises(ReplayError):
+            replayer.replay(inputs={"input": x}, max_attempts=1)
+
+    def test_patched_recording_replays_correctly(self, g31_workload):
+        workload, _ = g31_workload
+        patched, report = patch_recording_for_sku(workload.recording,
+                                                  "g71")
+        assert report.pte_entries_rewritten > 0
+        assert report.memattr_patched
+        assert report.affinity_writes_patched == \
+            workload.recording.meta.n_jobs
+        replayer = Replayer(fresh_replay_machine("mali", seed=165,
+                                                 board="hikey960"))
+        replayer.init()
+        replayer.load(patched)
+        x = np.random.default_rng(2).standard_normal(
+            workload.input_shape).astype(np.float32)
+        result = replayer.replay(inputs={"input": x})
+        expected = run_reference(build_model("mnist"), x, fuse=True)
+        assert np.array_equal(result.output,
+                              expected.reshape(result.output.shape))
+
+    def test_affinity_only_patch_runs_on_one_core(self, g31_workload):
+        workload, _ = g31_workload
+        half, report = patch_recording_for_sku(
+            workload.recording, "g71", patch_affinity=False)
+        assert report.affinity_writes_patched == 0
+        affinities = {a.val for a in half.actions
+                      if isinstance(a, act.RegWrite)
+                      and a.reg.endswith("_AFFINITY")}
+        assert affinities == {0x1}  # G31's single core
+
+    def test_original_recording_not_mutated(self, g31_workload):
+        workload, _ = g31_workload
+        before = workload.recording.meta.memattr
+        patch_recording_for_sku(workload.recording, "g71")
+        assert workload.recording.meta.memattr == before
+        assert workload.recording.meta.gpu_model == "mali-g31"
+
+    def test_downscale_refused(self, mali_mnist_recorded):
+        workload, _ = mali_mnist_recorded  # recorded on G71
+        with pytest.raises(RecordingError):
+            patch_recording_for_sku(workload.recording, "g31")
+
+    def test_non_mali_family_refused(self, v3d_mnist_recorded):
+        workload, _ = v3d_mnist_recorded
+        with pytest.raises(RecordingError):
+            patch_recording_for_sku(workload.recording, "g71")
+
+    def test_unknown_sku_refused(self, mali_mnist_recorded):
+        workload, _ = mali_mnist_recorded
+        with pytest.raises(RecordingError):
+            patch_recording_for_sku(workload.recording, "g99")

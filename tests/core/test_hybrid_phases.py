@@ -1,0 +1,101 @@
+"""Interleaved CPU/GPU phases (Section 3.1, "CPU/GPU coordination").
+
+A workload whose GPU phases are recorded separately while CPU phases
+run live between replays: GR "stitches CPU and GPU phases by their
+input/output" -- the replayer extracts phase-1 output, the app's CPU
+code transforms it, and the transformed data is deposited as phase-2
+input.
+"""
+
+import numpy as np
+import pytest
+
+from repro.bench.workloads import fresh_replay_machine
+from repro.core.harness import record_kernel_workload
+from repro.core.replayer import Replayer
+from repro.gpu.isa import Op
+from repro.soc import Machine
+from repro.stack.driver import MaliDriver
+from repro.stack.runtime import OpenClRuntime
+from repro.stack.runtime.kernel_ir import KernelIR, KernelOp
+
+N = 256
+
+
+@pytest.fixture(scope="module")
+def phases():
+    """Two GPU phases recorded in one stack session (shared layout)."""
+    machine = Machine.create("hikey960", seed=271)
+    runtime = OpenClRuntime(MaliDriver(machine))
+    runtime.init_context()
+    phase1 = KernelIR("phase1", [KernelOp(Op.MUL, ("a", "b"), "p1out")],
+                      {"a": (N,), "b": (N,), "p1out": (N,)})
+    phase2 = KernelIR("phase2",
+                      [KernelOp(Op.RELU, ("p2in",), "t"),
+                       KernelOp(Op.SCALE, ("t",), "p2out", (10.0,))],
+                      {"p2in": (N,), "t": (N,), "p2out": (N,)})
+    r1 = record_kernel_workload(runtime, phase1, "phase1").recording
+    r2 = record_kernel_workload(runtime, phase2, "phase2").recording
+    return r1, r2
+
+
+def cpu_phase(p1out: np.ndarray) -> np.ndarray:
+    """The live CPU phase between the two GPU phases: a centering step
+    the ML framework would never offload."""
+    return (p1out - p1out.mean()).astype(np.float32)
+
+
+class TestHybridExecution:
+    def test_cpu_phase_stitched_between_gpu_replays(self, phases):
+        r1, r2 = phases
+        machine = fresh_replay_machine("mali", seed=272)
+        replayer = Replayer(machine)
+        replayer.init()
+
+        rng = np.random.default_rng(9)
+        a = rng.standard_normal(N).astype(np.float32)
+        b = rng.standard_normal(N).astype(np.float32)
+
+        # GPU phase 1.
+        replayer.load(r1)
+        out1 = replayer.replay(inputs={"a": a, "b": b}).outputs["p1out"]
+        # CPU phase (live code, never recorded).
+        intermediate = cpu_phase(out1)
+        # GPU phase 2 in the same session, fed the CPU result.
+        replayer.load(r2)
+        out2 = replayer.replay(
+            inputs={"p2in": intermediate}).outputs["p2out"]
+
+        expected = np.float32(10.0) * np.maximum(cpu_phase(a * b), 0)
+        assert np.array_equal(out2, expected)
+
+    def test_phases_iterate_like_training(self, phases):
+        """Replay the phase pair repeatedly with a CPU predicate."""
+        r1, r2 = phases
+        machine = fresh_replay_machine("mali", seed=273)
+        replayer = Replayer(machine)
+        replayer.init()
+        rng = np.random.default_rng(11)
+        a = rng.standard_normal(N).astype(np.float32)
+        b = np.full(N, 0.5, np.float32)
+        iterations = 0
+        while True:  # P evaluated on the CPU (Section 3.1)
+            iterations += 1
+            replayer.load(r1)
+            out1 = replayer.replay(
+                inputs={"a": a, "b": b}).outputs["p1out"]
+            replayer.load(r2)
+            out2 = replayer.replay(
+                inputs={"p2in": cpu_phase(out1)}).outputs["p2out"]
+            a = out2 / 10.0  # feed back, shrinking each iteration
+            if float(np.abs(a).max()) < 0.05 or iterations >= 12:
+                break
+        assert iterations > 1
+        assert float(np.abs(a).max()) < 0.05
+
+    def test_each_phase_has_its_own_io_interface(self, phases):
+        r1, r2 = phases
+        assert {io.name for io in r1.meta.inputs} == {"a", "b"}
+        assert {io.name for io in r1.meta.outputs} == {"p1out"}
+        assert {io.name for io in r2.meta.inputs} == {"p2in"}
+        assert {io.name for io in r2.meta.outputs} == {"p2out"}

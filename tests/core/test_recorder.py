@@ -1,0 +1,245 @@
+"""The in-driver recorder: event capture, dumps, intervals, cuts."""
+
+import numpy as np
+import pytest
+
+from repro.core import actions as act
+from repro.core.recorder import (MaliRecorder, RecorderOptions,
+                                 V3dRecorder, make_recorder)
+from repro.errors import RecordingError
+from repro.soc import Machine
+from repro.stack.driver import MaliDriver, V3dDriver
+from repro.stack.framework import AclNetwork, build_model
+from repro.stack.runtime import OpenClRuntime
+from tests.stack.test_driver_mali import submit_vecadd
+from repro.stack.driver.ioctl import IoctlCode
+
+
+@pytest.fixture
+def driver():
+    machine = Machine.create("hikey960", seed=121)
+    driver = MaliDriver(machine)
+    driver.open()
+    driver.create_context()
+    return driver
+
+
+@pytest.fixture
+def recorder(driver):
+    return make_recorder(driver)
+
+
+class TestFamilySelection:
+    def test_mali(self, driver):
+        assert isinstance(make_recorder(driver), MaliRecorder)
+
+    def test_v3d(self):
+        machine = Machine.create("raspberrypi4", seed=122)
+        v3d = V3dDriver(machine)
+        assert isinstance(make_recorder(v3d), V3dRecorder)
+
+
+class TestSessionLifecycle:
+    def test_begin_enforces_sync_and_end_restores(self, driver,
+                                                  recorder):
+        assert driver.queue.depth == 2
+        recorder.begin("w")
+        assert driver.queue.depth == 1
+        recorder.end()
+        assert driver.queue.depth == 2
+
+    def test_double_begin_rejected(self, recorder):
+        recorder.begin("w")
+        with pytest.raises(RecordingError):
+            recorder.begin("w")
+
+    def test_end_without_begin_rejected(self, recorder):
+        with pytest.raises(RecordingError):
+            recorder.end()
+
+    def test_sync_not_enforced_when_disabled(self, driver):
+        recorder = make_recorder(
+            driver, RecorderOptions(sync_submission=False))
+        recorder.begin("w")
+        assert driver.queue.depth == 2
+        recorder.end()
+
+
+class TestActionCapture:
+    def test_prologue_reconstructs_address_space(self, driver, recorder):
+        recorder.begin("w")
+        recordings = recorder.end()
+        actions = recordings[0].actions
+        assert isinstance(actions[0], act.SetGpuPgtable)
+        assert actions[0].memattr == driver.gpu.spec.required_memattr
+        maps = [a for a in actions if isinstance(a, act.MapGpuMem)]
+        assert len(maps) == len(driver.ctx.regions)
+        assert recordings[0].meta.prologue_len == len(actions)
+
+    def test_job_records_full_interaction_pattern(self, driver, recorder):
+        recorder.begin("w")
+        job_id, _e, _v = submit_vecadd(driver)
+        driver.ioctl(IoctlCode.JOB_WAIT, job_id=job_id)
+        driver.flush_caches()
+        recording = recorder.end()[0]
+        kinds = [type(a).__name__ for a in recording.actions]
+        for expected in ("Upload", "RegWrite", "WaitIrq", "IrqEnter",
+                         "RegReadOnce", "IrqExit", "RegReadWait"):
+            assert expected in kinds
+        kicks = [a for a in recording.actions
+                 if isinstance(a, act.RegWrite) and a.is_job_kick]
+        assert len(kicks) == 1
+        assert recording.meta.n_jobs == 1
+
+    def test_volatile_reads_marked_ignorable(self, driver, recorder):
+        recorder.begin("w")
+        driver.reg_read("CYCLE_COUNT", "test:volatile")
+        recording = recorder.end()[0]
+        reads = [a for a in recording.actions
+                 if isinstance(a, act.RegReadOnce)]
+        assert reads[-1].ignore
+
+    def test_poll_summarized_as_regreadwait(self, driver, recorder):
+        recorder.begin("w")
+        driver.flush_caches()
+        recording = recorder.end()[0]
+        waits = [a for a in recording.actions
+                 if isinstance(a, act.RegReadWait)]
+        assert waits
+        assert waits[0].reg == "GPU_IRQ_RAWSTAT"
+        assert waits[0].timeout_ns > 0
+        # Recorded reg_io includes every raw poll read.
+        assert recording.meta.reg_io > len(recording.actions) - \
+            recording.meta.prologue_len
+
+    def test_runtime_allocations_recorded(self, driver, recorder):
+        from repro.stack.driver.memory import MemFlags
+        recorder.begin("w")
+        va = driver.ioctl(IoctlCode.MEM_ALLOC, size=8192,
+                          flags=MemFlags.data_buffer(), tag="t")
+        driver.ioctl(IoctlCode.MEM_FREE, va=va)
+        recording = recorder.end()[0]
+        maps = [a for a in recording.actions[recording.meta.prologue_len:]
+                if isinstance(a, act.MapGpuMem)]
+        unmaps = [a for a in recording.actions
+                  if isinstance(a, act.UnmapGpuMem)]
+        assert len(maps) == 1 and maps[0].addr == va
+        assert len(unmaps) == 1 and unmaps[0].addr == va
+
+
+class TestDumping:
+    def test_mali_dumps_only_exec_and_annotated(self, driver, recorder):
+        from repro.stack.driver.memory import MemFlags
+        data_va = driver.ioctl(IoctlCode.MEM_ALLOC, size=4096,
+                               flags=MemFlags.data_buffer(), tag="data")
+        driver.ctx.cpu_write(data_va, b"\x55" * 4096)
+        recorder.begin("w")
+        job_id, _e, _v = submit_vecadd(driver)
+        driver.ioctl(IoctlCode.JOB_WAIT, job_id=job_id)
+        recording = recorder.end()[0]
+        dumped_vas = {d.va for d in recording.dumps}
+        # The plain data buffer was not annotated: never dumped.
+        assert not any(d.va <= data_va < d.end_va()
+                       for d in recording.dumps)
+        assert dumped_vas  # but job binaries were
+
+    def test_by_value_annotation_forces_dump(self, driver):
+        from repro.stack.driver.memory import MemFlags
+        data_va = driver.ioctl(IoctlCode.MEM_ALLOC, size=4096,
+                               flags=MemFlags.data_buffer(), tag="w")
+        driver.ctx.cpu_write(data_va, b"\x77" * 4096)
+        recorder = make_recorder(driver)
+        recorder.annotate_by_value([(data_va, 4096)])
+        recorder.begin("w")
+        job_id, _e, _v = submit_vecadd(driver)
+        driver.ioctl(IoctlCode.JOB_WAIT, job_id=job_id)
+        recording = recorder.end()[0]
+        assert any(d.va <= data_va < d.end_va() for d in recording.dumps)
+
+    def test_unchanged_pages_not_redumped(self, driver, recorder):
+        recorder.begin("w")
+        ids = [submit_vecadd(driver, seed=s) for s in range(2)]
+        for job_id, _e, _v in ids:
+            driver.ioctl(IoctlCode.JOB_WAIT, job_id=job_id)
+        recording = recorder.end()[0]
+        # Two jobs, but each job binary dumped once (different pool
+        # regions) -- dump bytes stay bounded.
+        uploads = [a for a in recording.actions
+                   if isinstance(a, act.Upload)]
+        assert recording.meta.n_jobs == 2
+        assert len(uploads) <= 2 * 3
+
+    def test_first_kick_snapshot_taken_once(self, driver, recorder):
+        recorder.begin("w")
+        job_id, _e, _v = submit_vecadd(driver)
+        driver.ioctl(IoctlCode.JOB_WAIT, job_id=job_id)
+        snap1 = recorder.first_kick_snapshot
+        assert snap1
+        job_id, _e, _v = submit_vecadd(driver, seed=9)
+        driver.ioctl(IoctlCode.JOB_WAIT, job_id=job_id)
+        assert recorder.first_kick_snapshot is snap1
+        recorder.end()
+
+
+class TestIntervals:
+    def test_idle_intervals_marked_skippable(self, driver, recorder):
+        recorder.begin("w")
+        driver.machine.clock.advance(5_000_000)  # CPU dawdling, GPU idle
+        driver.reg_read("GPU_ID", "test:late-read")
+        recording = recorder.end()[0]
+        read = [a for a in recording.actions
+                if isinstance(a, act.RegReadOnce)][-1]
+        assert read.recorded_interval_ns >= 5_000_000
+        assert read.min_interval_ns == 0
+
+    def test_skip_disabled_preserves_everything(self, driver):
+        recorder = make_recorder(
+            driver, RecorderOptions(skip_idle_intervals=False))
+        recorder.begin("w")
+        driver.machine.clock.advance(1_000_000)
+        driver.reg_read("GPU_ID", "test:read")
+        recording = recorder.end()[0]
+        read = [a for a in recording.actions
+                if isinstance(a, act.RegReadOnce)][-1]
+        assert read.min_interval_ns == read.recorded_interval_ns
+
+
+class TestCut:
+    def test_cut_splits_recordings(self, driver, recorder):
+        recorder.begin("w")
+        job_id, _e, _v = submit_vecadd(driver)
+        driver.ioctl(IoctlCode.JOB_WAIT, job_id=job_id)
+        recorder.cut()
+        job_id, _e, _v = submit_vecadd(driver, seed=5)
+        driver.ioctl(IoctlCode.JOB_WAIT, job_id=job_id)
+        recordings = recorder.end()
+        assert len(recordings) == 2
+        assert all(r.meta.n_jobs == 1 for r in recordings)
+        # Each recording re-declares the full live address space.
+        for r in recordings:
+            assert r.meta.prologue_len > 0
+
+    def test_cut_requires_active_session(self, recorder):
+        with pytest.raises(RecordingError):
+            recorder.cut()
+
+
+class TestV3dRecorder:
+    def test_control_list_pointer_chase_finds_binaries(self):
+        machine = Machine.create("raspberrypi4", seed=123)
+        driver = V3dDriver(machine)
+        driver.open()
+        driver.create_context()
+        recorder = make_recorder(driver)
+        recorder.begin("w")
+        from tests.stack.test_driver_v3d import submit_vecadd as v3d_sub
+        job_id, _e, _v = v3d_sub(driver)
+        driver.ioctl(IoctlCode.JOB_WAIT, job_id=job_id)
+        recording = recorder.end()[0]
+        assert recording.dumps  # found the CL + shader region
+        # Whole-region dumps: the dump covers the full binary region.
+        binary_region = next(r for r in driver.ctx.regions.values()
+                             if r.tag == "binary")
+        assert any(d.va == binary_region.va and
+                   d.size == binary_region.size
+                   for d in recording.dumps)

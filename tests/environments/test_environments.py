@@ -1,0 +1,180 @@
+"""The four deployment environments (Table 4 / Section 6.3)."""
+
+import numpy as np
+import pytest
+
+from repro.bench.workloads import model_input
+from repro.environments import (BaremetalEnvironment, KernelEnvironment,
+                                SecureMonitor, TeeEnvironment,
+                                UserspaceEnvironment)
+from repro.environments.tee import NORMAL_WORLD, SECURE_WORLD
+from repro.errors import EnvironmentError_
+from repro.soc import Machine
+from repro.stack.framework import build_model
+from repro.stack.reference import run_reference
+
+
+def fresh_machine(board="hikey960", seed=181):
+    return Machine.create(board, seed=seed)
+
+
+def check_replay(env, workload, model_name, seed=4):
+    env.load(workload.recording)
+    x = model_input(model_name, seed=seed)
+    result = env.replay(inputs={"input": x})
+    expected = run_reference(build_model(model_name), x, fuse=False)
+    assert np.array_equal(result.output,
+                          expected.reshape(result.output.shape))
+    return result
+
+
+class TestUserspace:
+    def test_replay_works(self, mali_mnist_recorded):
+        workload, _ = mali_mnist_recorded
+        env = UserspaceEnvironment(fresh_machine())
+        env.setup()
+        check_replay(env, workload, "mnist")
+        env.teardown()
+
+    def test_setup_costs_time_and_runs_once(self):
+        env = UserspaceEnvironment(fresh_machine(seed=182))
+        env.setup()
+        assert env.setup_ns > 0
+        with pytest.raises(EnvironmentError_):
+            env.setup()
+
+    def test_tcb_profile(self):
+        env = UserspaceEnvironment(fresh_machine(seed=183))
+        tcb = env.tcb()
+        assert "host OS kernel" in tcb.trusted_components
+        assert tcb.replayer_binary_bytes < 100 * 1024
+
+    def test_requires_setup_before_use(self, mali_mnist_recorded):
+        workload, _ = mali_mnist_recorded
+        env = UserspaceEnvironment(fresh_machine(seed=184))
+        with pytest.raises(EnvironmentError_):
+            env.load(workload.recording)
+
+
+class TestKernel:
+    def test_replay_on_v3d(self, v3d_mnist_recorded):
+        workload, _ = v3d_mnist_recorded
+        env = KernelEnvironment(fresh_machine("raspberrypi4", seed=185))
+        env.setup()
+        check_replay(env, workload, "mnist")
+
+    def test_disables_stock_driver_while_active(self):
+        from repro.stack.driver import V3dDriver
+        machine = fresh_machine("raspberrypi4", seed=186)
+        stock = V3dDriver(machine)
+        stock.open()
+        env = KernelEnvironment(machine, stock_driver=stock)
+        env.setup()
+        assert not stock._irq_connected
+        env.reenable_stock_driver()
+        assert stock._irq_connected
+
+    def test_refuses_busy_stock_driver(self):
+        from repro.stack.driver import V3dDriver
+        machine = fresh_machine("raspberrypi4", seed=187)
+        stock = V3dDriver(machine)
+        stock.open()
+        stock.outstanding_jobs = 1  # pretend a job is in flight
+        env = KernelEnvironment(machine, stock_driver=stock)
+        with pytest.raises(EnvironmentError_):
+            env.setup()
+
+
+class TestTee:
+    def test_replay_inside_secure_world(self, mali_mnist_recorded):
+        workload, _ = mali_mnist_recorded
+        env = TeeEnvironment(fresh_machine(seed=188))
+        env.setup()
+        assert env.monitor.gpu_owner == SECURE_WORLD
+        check_replay(env, workload, "mnist")
+
+    def test_monitor_blocks_wrong_world(self):
+        machine = fresh_machine(seed=189)
+        monitor = SecureMonitor(machine)
+        monitor.require_owner(NORMAL_WORLD)
+        with pytest.raises(EnvironmentError_):
+            monitor.require_owner(SECURE_WORLD)
+
+    def test_world_switches_cost_time_and_are_counted(self):
+        machine = fresh_machine(seed=190)
+        monitor = SecureMonitor(machine)
+        t0 = machine.clock.now()
+        monitor.switch_gpu_to(SECURE_WORLD)
+        monitor.switch_gpu_to(SECURE_WORLD)  # no-op
+        monitor.switch_gpu_to(NORMAL_WORLD)
+        assert monitor.switch_count == 2
+        assert machine.clock.now() > t0
+
+    def test_yield_and_reclaim(self, mali_mnist_recorded):
+        workload, _ = mali_mnist_recorded
+        env = TeeEnvironment(fresh_machine(seed=191))
+        env.setup()
+        env.load(workload.recording)
+        delay = env.yield_gpu_to_normal_world()
+        assert 0 < delay < 2_000_000
+        assert env.monitor.gpu_owner == NORMAL_WORLD
+        with pytest.raises(EnvironmentError_):
+            env.replay(inputs={"input": model_input("mnist")})
+        env.reclaim_gpu()
+        check_replay(env, workload, "mnist", seed=5)
+
+    def test_unknown_world_rejected(self):
+        monitor = SecureMonitor(fresh_machine(seed=192))
+        with pytest.raises(EnvironmentError_):
+            monitor.switch_gpu_to("limbo")
+
+
+class TestBaremetal:
+    def test_boot_applies_extracted_firmware_sequence(
+            self, v3d_mnist_recorded):
+        workload, _ = v3d_mnist_recorded
+        assert workload.recording.meta.power_sequence  # extracted
+        machine = fresh_machine("raspberrypi4", seed=193)
+        env = BaremetalEnvironment(machine)
+        env.embed_recording("mnist", workload.recording.to_bytes())
+        env.setup()
+        assert machine.firmware.is_powered(10)
+        env.load_embedded("mnist")
+        x = model_input("mnist", seed=6)
+        result = env.replay(inputs={"input": x})
+        expected = run_reference(build_model("mnist"), x, fuse=False)
+        assert np.array_equal(result.output,
+                              expected.reshape(result.output.shape))
+
+    def test_unpowered_v3d_without_recording_fails_loudly(self):
+        from repro.errors import ReplayError
+        machine = fresh_machine("raspberrypi4", seed=194)
+        env = BaremetalEnvironment(machine)
+        with pytest.raises(ReplayError):
+            env.setup()  # nano init reads a dead register block
+
+    def test_binary_size_accounting(self, v3d_mnist_recorded):
+        workload, _ = v3d_mnist_recorded
+        machine = fresh_machine("raspberrypi4", seed=195)
+        env = BaremetalEnvironment(machine)
+        base = sum(
+            __import__("repro.environments.baremetal",
+                       fromlist=["BINARY_BREAKDOWN"]).BINARY_BREAKDOWN
+            .values())
+        assert base == 49 * 1024  # the paper's ~50 KB executable
+        blob = workload.recording.to_bytes()
+        env.embed_recording("mnist", blob)
+        assert env.binary_size() == base + len(blob)
+
+    def test_unknown_embedded_recording(self):
+        machine = fresh_machine("raspberrypi4", seed=196)
+        env = BaremetalEnvironment(machine)
+        with pytest.raises(EnvironmentError_):
+            env.load_embedded("ghost")
+
+    def test_tcb_is_replayer_only(self):
+        env = BaremetalEnvironment(fresh_machine("raspberrypi4",
+                                                 seed=197))
+        tcb = env.tcb()
+        assert tcb.exposed_to == ["remote adversaries only"]
+        assert len(tcb.trusted_components) == 1

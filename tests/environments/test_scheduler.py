@@ -1,0 +1,87 @@
+"""GPU handoff between the replayer and interactive apps (D1)."""
+
+import numpy as np
+import pytest
+
+from repro.bench.workloads import fresh_replay_machine, model_input
+from repro.core.checkpoints import CheckpointPolicy
+from repro.core.replayer import Replayer
+from repro.environments.scheduler import (GpuHandoffScheduler,
+                                          InteractiveApp)
+from repro.stack.framework import build_model
+from repro.stack.reference import run_reference
+from repro.units import MS
+
+
+def make_scheduler(workload, seed=201, checkpoint_every=0):
+    machine = fresh_replay_machine("mali", seed=seed)
+    policy = CheckpointPolicy(every_n_jobs=checkpoint_every)
+    replayer = Replayer(machine, checkpoint_policy=policy)
+    replayer.init()
+    replayer.load(workload.recording)
+    return machine, replayer, GpuHandoffScheduler(machine, replayer)
+
+
+class TestHandoff:
+    def test_no_preemption_runs_straight_through(
+            self, mali_alexnet_recorded):
+        workload, _ = mali_alexnet_recorded
+        _m, _r, scheduler = make_scheduler(workload)
+        x = model_input("alexnet", seed=1)
+        result = scheduler.run_replay(inputs={"input": x})
+        assert scheduler.events == []
+        expected = run_reference(build_model("alexnet"), x, fuse=False)
+        assert np.array_equal(result.output,
+                              expected.reshape(result.output.shape))
+
+    def test_preemption_serviced_and_replay_completes(
+            self, mali_alexnet_recorded):
+        workload, _ = mali_alexnet_recorded
+        _m, _r, scheduler = make_scheduler(workload, seed=202)
+        app = InteractiveApp("camera", burst_ns=16 * MS)
+        scheduler.schedule_preemption(app, delay_ns=500_000)
+        x = model_input("alexnet", seed=2)
+        result = scheduler.run_replay(inputs={"input": x})
+        assert len(scheduler.events) == 1
+        assert app.grants == 1
+        expected = run_reference(build_model("alexnet"), x, fuse=False)
+        assert np.array_equal(result.output,
+                              expected.reshape(result.output.shape))
+
+    def test_handoff_delay_under_one_ms(self, mali_alexnet_recorded):
+        """The Section 7.5 interactiveness bound."""
+        workload, _ = mali_alexnet_recorded
+        _m, _r, scheduler = make_scheduler(workload, seed=203)
+        app = InteractiveApp("game")
+        scheduler.schedule_preemption(app, delay_ns=300_000)
+        scheduler.run_replay(
+            inputs={"input": model_input("alexnet", seed=3)})
+        assert 0 < scheduler.max_handoff_delay_ns() < 1_000_000
+
+    def test_resume_via_checkpoint_when_available(
+            self, mali_alexnet_recorded):
+        workload, _ = mali_alexnet_recorded
+        _m, replayer, scheduler = make_scheduler(workload, seed=204,
+                                                 checkpoint_every=8)
+        app = InteractiveApp("maps")
+        # Preempt late enough that a checkpoint exists.
+        scheduler.schedule_preemption(app, delay_ns=15_000_000)
+        x = model_input("alexnet", seed=4)
+        result = scheduler.run_replay(inputs={"input": x})
+        expected = run_reference(build_model("alexnet"), x, fuse=False)
+        assert np.array_equal(result.output,
+                              expected.reshape(result.output.shape))
+        if scheduler.events:
+            assert replayer.checkpoints.taken_count >= 0
+
+    def test_event_records_who_and_when(self, mali_alexnet_recorded):
+        workload, _ = mali_alexnet_recorded
+        _m, _r, scheduler = make_scheduler(workload, seed=205)
+        app = InteractiveApp("browser")
+        scheduler.schedule_preemption(app, delay_ns=400_000)
+        scheduler.run_replay(
+            inputs={"input": model_input("alexnet", seed=5)})
+        event = scheduler.events[0]
+        assert event.app == "browser"
+        assert event.replay_action_index >= 0
+        assert event.handoff_delay_ns > 0

@@ -1,0 +1,139 @@
+"""Shader ISA encode/decode and cost estimates."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import ShaderDecodeError
+from repro.gpu.isa import (Instruction, Op, Program, TensorRef,
+                           bytes_touched, decode_program, encode_program,
+                           flops_estimate, program_size)
+
+
+def simple_program():
+    return Program([
+        Instruction(Op.ADD, (TensorRef(0x1000, (16,)),
+                             TensorRef(0x2000, (16,)),
+                             TensorRef(0x3000, (16,)))),
+        Instruction(Op.SCALE, (TensorRef(0x3000, (16,)),
+                               TensorRef(0x4000, (16,))), (2.5,)),
+    ])
+
+
+class TestRoundtrip:
+    def test_encode_decode_identity(self):
+        program = simple_program()
+        decoded = decode_program(encode_program(program))
+        assert decoded.instructions == program.instructions
+
+    def test_empty_program(self):
+        decoded = decode_program(encode_program(Program([])))
+        assert decoded.instructions == []
+
+    def test_program_size_matches_encoding(self):
+        program = simple_program()
+        assert program_size(program) == len(encode_program(program))
+
+    def test_conv_with_params_roundtrip(self):
+        instr = Instruction(Op.CONV2D, (
+            TensorRef(0x1000, (3, 8, 8)),
+            TensorRef(0x2000, (4, 3, 3, 3)),
+            TensorRef(0x3000, (4,)),
+            TensorRef(0x4000, (4, 8, 8)),
+        ), (1.0, 1.0))
+        decoded = decode_program(encode_program(Program([instr])))
+        assert decoded.instructions[0] == instr
+
+
+class TestDecodeErrors:
+    def test_bad_magic(self):
+        blob = bytearray(encode_program(simple_program()))
+        blob[0] ^= 0xFF
+        with pytest.raises(ShaderDecodeError):
+            decode_program(bytes(blob))
+
+    def test_truncated_blob(self):
+        blob = encode_program(simple_program())
+        with pytest.raises(ShaderDecodeError):
+            decode_program(blob[:len(blob) - 3])
+
+    def test_too_short_for_header(self):
+        with pytest.raises(ShaderDecodeError):
+            decode_program(b"\x01")
+
+    def test_unknown_opcode(self):
+        blob = bytearray(encode_program(Program([
+            Instruction(Op.COPY, (TensorRef(0, (1,)),
+                                  TensorRef(4, (1,))))])))
+        # Opcode field sits right after the instruction magic.
+        offset = 8 + 4
+        blob[offset] = 0xEE
+        with pytest.raises(ShaderDecodeError):
+            decode_program(bytes(blob))
+
+    def test_operandless_instruction_rejected_at_encode(self):
+        with pytest.raises(ShaderDecodeError):
+            encode_program(Program([Instruction(Op.COPY, ())]))
+
+    def test_oversized_rank_rejected(self):
+        ref = TensorRef(0, (1, 1, 1, 1, 1, 1))
+        with pytest.raises(ShaderDecodeError):
+            encode_program(Program([Instruction(Op.COPY, (ref, ref))]))
+
+
+class TestTensorRef:
+    def test_elements_and_bytes(self):
+        ref = TensorRef(0x100, (2, 3, 4))
+        assert ref.elements == 24
+        assert ref.nbytes == 96
+        assert ref.end_va() == 0x100 + 96
+
+    def test_instruction_io_views(self):
+        instr = simple_program().instructions[0]
+        assert len(instr.inputs) == 2
+        assert instr.output.va == 0x3000
+
+
+class TestCostEstimates:
+    def test_matmul_flops(self):
+        instr = Instruction(Op.MATMUL, (
+            TensorRef(0, (4, 8)), TensorRef(0, (8, 16)),
+            TensorRef(0, (4, 16))))
+        assert flops_estimate(instr) == 2 * 4 * 16 * 8
+
+    def test_conv_flops(self):
+        instr = Instruction(Op.CONV2D, (
+            TensorRef(0, (3, 8, 8)), TensorRef(0, (4, 3, 3, 3)),
+            TensorRef(0, (4,)), TensorRef(0, (4, 8, 8))), (1.0, 1.0))
+        assert flops_estimate(instr) == 2 * (4 * 8 * 8) * 3 * 9
+
+    def test_elementwise_flops(self):
+        instr = simple_program().instructions[0]
+        assert flops_estimate(instr) == 16
+
+    def test_bytes_touched(self):
+        instr = simple_program().instructions[0]
+        assert bytes_touched(instr) == 3 * 16 * 4
+
+    def test_referenced_ranges(self):
+        ranges = simple_program().referenced_ranges()
+        assert (0x1000, 64) in ranges
+        assert len(ranges) == 5
+
+
+# Property-based: any well-formed program survives the wire format.
+_shapes = st.lists(st.integers(1, 6), min_size=1, max_size=4).map(tuple)
+_refs = st.builds(TensorRef, st.integers(0, 2 ** 40).map(lambda v: v * 4),
+                  _shapes)
+_elementwise = st.sampled_from([Op.ADD, Op.SUB, Op.MUL])
+_instrs = st.builds(
+    lambda op, a, b, c, params: Instruction(op, (a, b, c), params),
+    _elementwise, _refs, _refs, _refs,
+    st.lists(st.floats(-1e6, 1e6, allow_nan=False), max_size=3).map(tuple))
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.lists(_instrs, max_size=8))
+def test_roundtrip_property(instructions):
+    program = Program(instructions)
+    assert decode_program(encode_program(program)).instructions == \
+        instructions

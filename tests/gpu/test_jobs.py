@@ -1,0 +1,99 @@
+"""Job-binary formats: Mali job chains and v3d control lists."""
+
+import pytest
+
+from repro.errors import JobDecodeError
+from repro.gpu import jobs
+
+
+class TestMaliJobChain:
+    def test_descriptor_roundtrip(self):
+        desc = jobs.MaliJobDescriptor(1, 0x2000, 0x3000, 128)
+        assert jobs.decode_mali_job(jobs.encode_mali_job(desc)) == desc
+
+    def test_bad_magic(self):
+        blob = bytearray(jobs.encode_mali_job(
+            jobs.MaliJobDescriptor(1, 0, 0, 0)))
+        blob[0] ^= 1
+        with pytest.raises(JobDecodeError):
+            jobs.decode_mali_job(bytes(blob))
+
+    def test_truncated(self):
+        with pytest.raises(JobDecodeError):
+            jobs.decode_mali_job(b"\x00" * 4)
+
+    def test_walk_chain(self):
+        store = {}
+
+        def put(va, desc):
+            store[va] = jobs.encode_mali_job(desc)
+
+        put(0x100, jobs.MaliJobDescriptor(1, 0x200, 0xA000, 64))
+        put(0x200, jobs.MaliJobDescriptor(1, 0x300, 0xB000, 64))
+        put(0x300, jobs.MaliJobDescriptor(1, 0, 0xC000, 64))
+
+        def read(va, size):
+            return store[va][:size]
+
+        chain = jobs.walk_mali_chain(0x100, read)
+        assert [va for va, _d in chain] == [0x100, 0x200, 0x300]
+        assert [d.shader_va for _va, d in chain] == [0xA000, 0xB000,
+                                                     0xC000]
+
+    def test_walk_detects_cycles(self):
+        blob = jobs.encode_mali_job(
+            jobs.MaliJobDescriptor(1, 0x100, 0xA000, 64))
+        with pytest.raises(JobDecodeError):
+            jobs.walk_mali_chain(0x100, lambda va, size: blob[:size])
+
+
+class TestV3dControlList:
+    def test_single_exec_then_halt(self):
+        memory = {}
+        packets = jobs.encode_cl_exec(0xA000, 96) + jobs.encode_cl_halt()
+        for i, byte in enumerate(packets):
+            memory[0x100 + i] = byte
+
+        def read(va, size):
+            return bytes(memory[va + i] for i in range(size))
+
+        entries = jobs.walk_control_list(0x100, read)
+        assert len(entries) == 2
+        assert entries[0].opcode == jobs.CL_EXEC_SHADER
+        assert entries[0].shader_va == 0xA000
+        assert entries[0].shader_size == 96
+        assert entries[1].opcode == jobs.CL_HALT
+
+    def test_branch_follows_pointer(self):
+        memory = {}
+
+        def write(va, data):
+            for i, byte in enumerate(data):
+                memory[va + i] = byte
+
+        write(0x100, jobs.encode_cl_exec(0xA000, 32)
+              + jobs.encode_cl_branch(0x500))
+        write(0x500, jobs.encode_cl_exec(0xB000, 32)
+              + jobs.encode_cl_halt())
+
+        def read(va, size):
+            return bytes(memory[va + i] for i in range(size))
+
+        entries = jobs.walk_control_list(0x100, read)
+        opcodes = [e.opcode for e in entries]
+        assert opcodes == [jobs.CL_EXEC_SHADER, jobs.CL_BRANCH,
+                           jobs.CL_EXEC_SHADER, jobs.CL_HALT]
+        assert entries[2].shader_va == 0xB000
+
+    def test_unknown_packet(self):
+        with pytest.raises(JobDecodeError):
+            jobs.walk_control_list(0, lambda va, size: b"\x77" * size)
+
+    def test_branch_cycle_detected(self):
+        packet = jobs.encode_cl_branch(0x0)
+
+        def read(va, size):
+            return packet[:size]
+
+        with pytest.raises(JobDecodeError):
+            jobs.walk_control_list(0, read)

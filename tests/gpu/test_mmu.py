@@ -1,0 +1,185 @@
+"""GPU MMU: PTE formats, table building, translation, faults."""
+
+import pytest
+
+from repro.errors import GpuPageFault
+from repro.gpu.mmu import (PERM_R, PERM_W, PERM_X, PTE_FORMATS, GpuMmu,
+                           MaliLpaePteFormat, MaliPteFormat,
+                           PageTableBuilder, V3dPteFormat, VA_SPACE_SIZE,
+                           split_va, walk_page_table)
+from repro.soc.memory import PAGE_SIZE, PageAllocator, PhysicalMemory
+from repro.units import MIB
+
+
+@pytest.fixture
+def memory():
+    return PhysicalMemory(64 * MIB)
+
+
+@pytest.fixture
+def allocator(memory):
+    return PageAllocator(memory, 0, 8192, seed=3)
+
+
+class TestPteFormats:
+    @pytest.mark.parametrize("fmt_name", ["mali", "mali-lpae", "v3d"])
+    def test_roundtrip(self, fmt_name):
+        fmt = PTE_FORMATS[fmt_name]
+        pa = 0x12345 * PAGE_SIZE
+        perms = PERM_R | PERM_X
+        valid, decoded_pa, decoded_perms = fmt.decode_pte(
+            fmt.encode_pte(pa, perms))
+        assert valid
+        assert decoded_pa == pa
+        if fmt.has_permissions:
+            assert decoded_perms == perms
+        else:
+            assert decoded_perms == PERM_R | PERM_W | PERM_X
+
+    @pytest.mark.parametrize("fmt_name", ["mali", "mali-lpae", "v3d"])
+    def test_zero_entry_invalid(self, fmt_name):
+        fmt = PTE_FORMATS[fmt_name]
+        valid, _pa, _perms = fmt.decode_pte(0)
+        assert not valid
+
+    @pytest.mark.parametrize("fmt_name", ["mali", "mali-lpae", "v3d"])
+    def test_table_ptr_roundtrip(self, fmt_name):
+        fmt = PTE_FORMATS[fmt_name]
+        pa = 0x77 * PAGE_SIZE
+        valid, decoded = fmt.decode_table_ptr(fmt.encode_table_ptr(pa))
+        assert valid and decoded == pa
+
+    def test_lpae_permission_bits_differ_from_regular(self):
+        """The incompatibility Section 6.4's patch item (1) fixes."""
+        regular = MaliPteFormat()
+        lpae = MaliLpaePteFormat()
+        encoded = lpae.encode_pte(0, PERM_X)
+        # Decoding an LPAE entry with the regular format mis-reads the
+        # execute bit as something else.
+        _v, _pa, wrong_perms = regular.decode_pte(encoded)
+        assert wrong_perms != PERM_X
+
+    def test_v3d_has_no_permissions(self):
+        assert not V3dPteFormat().has_permissions
+        assert V3dPteFormat().pte_size == 4
+
+    def test_split_va_bounds(self):
+        with pytest.raises(GpuPageFault):
+            split_va(VA_SPACE_SIZE)
+        l0, l1, off = split_va(0x30201234)
+        assert off == 0x234
+
+
+class TestPageTableBuilder:
+    def test_map_lookup_unmap(self, memory, allocator):
+        pt = PageTableBuilder(memory, allocator, PTE_FORMATS["mali"])
+        data_pa = allocator.alloc_page()
+        pt.map_page(0x100000, data_pa, PERM_R | PERM_W)
+        assert pt.lookup(0x100000) == (data_pa, PERM_R | PERM_W)
+        assert pt.lookup(0x100abc) == (data_pa, PERM_R | PERM_W)
+        pt.unmap_page(0x100000)
+        assert pt.lookup(0x100000) is None
+
+    def test_unaligned_mapping_rejected(self, memory, allocator):
+        pt = PageTableBuilder(memory, allocator, PTE_FORMATS["mali"])
+        with pytest.raises(Exception):
+            pt.map_page(0x100001, 0, PERM_R)
+
+    def test_unmap_unmapped_rejected(self, memory, allocator):
+        pt = PageTableBuilder(memory, allocator, PTE_FORMATS["mali"])
+        with pytest.raises(Exception):
+            pt.unmap_page(0x100000)
+
+    def test_walk_matches_mappings(self, memory, allocator):
+        pt = PageTableBuilder(memory, allocator, PTE_FORMATS["mali"])
+        expected = []
+        for i in range(20):
+            pa = allocator.alloc_page()
+            va = 0x200000 + i * PAGE_SIZE * 3  # sparse VAs
+            perms = (PERM_R | PERM_X) if i % 2 else (PERM_R | PERM_W)
+            pt.map_page(va, pa, perms)
+            expected.append((va, pa, perms))
+        walked = walk_page_table(memory, pt.root_pa, PTE_FORMATS["mali"])
+        assert walked == sorted(expected)
+
+    def test_walk_v3d_format(self, memory, allocator):
+        pt = PageTableBuilder(memory, allocator, PTE_FORMATS["v3d"])
+        pa = allocator.alloc_page()
+        pt.map_page(0x300000, pa, 0)
+        walked = walk_page_table(memory, pt.root_pa, PTE_FORMATS["v3d"])
+        assert walked == [(0x300000, pa, PERM_R | PERM_W | PERM_X)]
+
+    def test_destroy_frees_table_pages(self, memory, allocator):
+        pt = PageTableBuilder(memory, allocator, PTE_FORMATS["mali"])
+        pa = allocator.alloc_page()
+        pt.map_page(0x100000, pa, PERM_R)
+        used_before = allocator.pages_in_use
+        pt.destroy()
+        assert allocator.pages_in_use < used_before
+
+
+class TestGpuMmu:
+    def build(self, memory, allocator, fmt_name="mali"):
+        fmt = PTE_FORMATS[fmt_name]
+        pt = PageTableBuilder(memory, allocator, fmt)
+        mmu = GpuMmu(memory, fmt)
+        mmu.set_base(pt.root_pa)
+        return pt, mmu
+
+    def test_translate(self, memory, allocator):
+        pt, mmu = self.build(memory, allocator)
+        pa = allocator.alloc_page()
+        pt.map_page(0x100000, pa, PERM_R | PERM_W)
+        assert mmu.translate(0x100234, "r") == pa | 0x234
+
+    def test_disabled_mmu_faults(self, memory):
+        mmu = GpuMmu(memory, PTE_FORMATS["mali"])
+        with pytest.raises(GpuPageFault):
+            mmu.translate(0x1000, "r")
+
+    def test_unmapped_va_faults(self, memory, allocator):
+        _pt, mmu = self.build(memory, allocator)
+        with pytest.raises(GpuPageFault):
+            mmu.translate(0x900000, "r")
+        assert mmu.fault_count == 1
+
+    def test_permission_enforcement(self, memory, allocator):
+        pt, mmu = self.build(memory, allocator)
+        pa = allocator.alloc_page()
+        pt.map_page(0x100000, pa, PERM_R)
+        mmu.translate(0x100000, "r")
+        with pytest.raises(GpuPageFault):
+            mmu.translate(0x100000, "w")
+        with pytest.raises(GpuPageFault):
+            mmu.translate(0x100000, "x")
+
+    def test_v3d_ignores_permissions(self, memory, allocator):
+        pt, mmu = self.build(memory, allocator, "v3d")
+        pa = allocator.alloc_page()
+        pt.map_page(0x100000, pa, 0)
+        mmu.translate(0x100000, "w")
+        mmu.translate(0x100000, "x")
+
+    def test_gather_scatter_across_noncontiguous_pages(self, memory,
+                                                       allocator):
+        pt, mmu = self.build(memory, allocator)
+        # The shuffled allocator virtually guarantees non-adjacent PAs.
+        for i in range(4):
+            pt.map_page(0x100000 + i * PAGE_SIZE, allocator.alloc_page(),
+                        PERM_R | PERM_W)
+        data = bytes(range(256)) * 50  # 12800 bytes, spans 4 pages
+        mmu.write_va(0x100100, data)
+        assert mmu.read_va(0x100100, len(data)) == data
+
+    def test_tlb_caches_and_flushes(self, memory, allocator):
+        pt, mmu = self.build(memory, allocator)
+        pa = allocator.alloc_page()
+        pt.map_page(0x100000, pa, PERM_R)
+        mmu.translate(0x100000, "r")
+        # Corrupt the live table; the stale TLB still translates...
+        pt.unmap_page(0x100000)
+        assert mmu.translate(0x100000, "r") == pa
+        # ...until the TLB is flushed.
+        mmu.flush_tlb()
+        with pytest.raises(GpuPageFault):
+            mmu.translate(0x100000, "r")

@@ -1,0 +1,112 @@
+"""Cost model scaling and the fault injector."""
+
+import pytest
+
+from repro.errors import SocError
+from repro.gpu.faults import FaultInjector
+from repro.gpu.isa import Instruction, Op, Program, TensorRef
+from repro.gpu.perf import GpuPerfModel
+from repro.soc import Machine
+from repro.soc.clock import ClockDomain, VirtualClock
+from repro.soc.machine import InterferenceProfile
+from tests.gpu import hwutil
+
+
+def big_program(n=65536):
+    return Program([Instruction(Op.ADD, (
+        TensorRef(0, (n,)), TensorRef(0, (n,)), TensorRef(0, (n,))))])
+
+
+class TestPerfModel:
+    def make(self):
+        return GpuPerfModel(), ClockDomain("gpu", 500_000_000,
+                                           VirtualClock())
+
+    def test_more_cores_run_faster(self):
+        perf, domain = self.make()
+        one = perf.job_duration_ns(big_program(), 1, domain,
+                                   InterferenceProfile())
+        eight = perf.job_duration_ns(big_program(), 8, domain,
+                                     InterferenceProfile())
+        assert one > 5 * eight
+
+    def test_interference_slows_jobs(self):
+        perf, domain = self.make()
+        clean = perf.job_duration_ns(big_program(), 4, domain,
+                                     InterferenceProfile())
+        contended = perf.job_duration_ns(
+            big_program(), 4, domain,
+            InterferenceProfile(mem_contention=2.0))
+        throttled = perf.job_duration_ns(
+            big_program(), 4, domain,
+            InterferenceProfile(thermal_throttle=1.5))
+        assert contended > 1.5 * clean
+        assert throttled > 1.3 * clean
+
+    def test_lower_clock_is_slower(self):
+        perf = GpuPerfModel()
+        clock = VirtualClock()
+        fast = ClockDomain("f", 800_000_000, clock)
+        slow = ClockDomain("s", 200_000_000, clock)
+        profile = InterferenceProfile()
+        assert perf.job_duration_ns(big_program(), 4, slow, profile) > \
+            3 * perf.job_duration_ns(big_program(), 4, fast, profile)
+
+    def test_zero_cores_rejected(self):
+        perf, domain = self.make()
+        with pytest.raises(ValueError):
+            perf.job_duration_ns(big_program(), 0, domain,
+                                 InterferenceProfile())
+
+    def test_empty_program_costs_only_parse(self):
+        perf, domain = self.make()
+        cost = perf.job_duration_ns(Program([]), 4, domain,
+                                    InterferenceProfile())
+        assert cost - perf.job_parse_ns <= 1
+
+
+class TestFaultInjector:
+    @pytest.fixture
+    def machine(self):
+        m = Machine.create("hikey960", seed=44)
+        hwutil.mali_power_up(m)
+        return m
+
+    def test_corrupt_and_repair_pte(self, machine):
+        space = hwutil.AddressSpace(machine)
+        space.activate_mali()
+        va = space.alloc(4096)
+        injector = FaultInjector(machine.gpu)
+        machine.gpu.mmu.translate(va, "r")  # works before
+        injector.corrupt_pte(va)
+        from repro.errors import GpuPageFault
+        with pytest.raises(GpuPageFault):
+            machine.gpu.mmu.translate(va, "r")
+        injector.repair_ptes()
+        machine.gpu.mmu.translate(va, "r")  # transient fault gone
+
+    def test_corrupt_unmapped_va_rejected(self, machine):
+        space = hwutil.AddressSpace(machine)
+        space.activate_mali()
+        with pytest.raises(SocError):
+            FaultInjector(machine.gpu).corrupt_pte(0x0F00_0000)
+
+    def test_corrupt_without_mmu_rejected(self):
+        machine = Machine.create("hikey960", seed=45)
+        with pytest.raises(SocError):
+            FaultInjector(machine.gpu).corrupt_pte(0x100000)
+
+    def test_underclock_and_restore(self, machine):
+        injector = FaultInjector(machine.gpu)
+        original = injector.underclock(2.0)
+        assert machine.gpu.clock_domain.rate_hz == original // 2
+        injector.restore_clock(original)
+        assert machine.gpu.clock_domain.rate_hz == original
+
+    def test_underclock_factor_validated(self, machine):
+        with pytest.raises(SocError):
+            FaultInjector(machine.gpu).underclock(0.9)
+
+    def test_offline_zero_mask_rejected(self, machine):
+        with pytest.raises(SocError):
+            FaultInjector(machine.gpu).offline_cores(0)

@@ -1,0 +1,141 @@
+"""Physical memory and the page allocator."""
+
+import pytest
+
+from repro.errors import AllocationError, PhysicalMemoryError
+from repro.soc.memory import PAGE_SIZE, PageAllocator, PhysicalMemory
+from repro.units import MIB
+
+
+@pytest.fixture
+def memory():
+    return PhysicalMemory(4 * MIB)
+
+
+class TestPhysicalMemory:
+    def test_read_back_written_bytes(self, memory):
+        memory.write(0x1000, b"hello world")
+        assert memory.read(0x1000, 11) == b"hello world"
+
+    def test_unwritten_memory_reads_zero(self, memory):
+        assert memory.read(0x2000, 8) == b"\x00" * 8
+
+    def test_write_across_page_boundary(self, memory):
+        data = bytes(range(200)) * 50  # 10000 bytes > 2 pages
+        memory.write(PAGE_SIZE - 100, data)
+        assert memory.read(PAGE_SIZE - 100, len(data)) == data
+
+    def test_word_accessors(self, memory):
+        memory.write_u32(0x100, 0xDEADBEEF)
+        assert memory.read_u32(0x100) == 0xDEADBEEF
+        memory.write_u64(0x200, 0x0123456789ABCDEF)
+        assert memory.read_u64(0x200) == 0x0123456789ABCDEF
+
+    def test_u32_truncates_to_32_bits(self, memory):
+        memory.write_u32(0, 0x1_FFFF_FFFF)
+        assert memory.read_u32(0) == 0xFFFFFFFF
+
+    def test_out_of_bounds_read_rejected(self, memory):
+        with pytest.raises(PhysicalMemoryError):
+            memory.read(memory.size - 4, 8)
+
+    def test_out_of_bounds_write_rejected(self, memory):
+        with pytest.raises(PhysicalMemoryError):
+            memory.write(memory.size, b"x")
+
+    def test_negative_address_rejected(self, memory):
+        with pytest.raises(PhysicalMemoryError):
+            memory.read(-4, 4)
+
+    def test_fill(self, memory):
+        memory.fill(0x3000, 100, 0xAB)
+        assert memory.read(0x3000, 100) == b"\xAB" * 100
+
+    def test_size_must_be_page_multiple(self):
+        with pytest.raises(PhysicalMemoryError):
+            PhysicalMemory(PAGE_SIZE + 1)
+
+    def test_touched_pages_is_sparse(self, memory):
+        before = memory.touched_pages()
+        memory.write(0, b"x")
+        memory.write(10 * PAGE_SIZE, b"y")
+        assert memory.touched_pages() == before + 2
+
+    def test_page_is_zero(self, memory):
+        assert memory.page_is_zero(0x5000)
+        memory.write(0x5000, b"\x01")
+        assert not memory.page_is_zero(0x5000)
+
+
+class TestPageAllocator:
+    def make(self, memory, pages=64, seed=0):
+        return PageAllocator(memory, base_pa=0, page_count=pages,
+                             seed=seed)
+
+    def test_allocates_distinct_pages(self, memory):
+        alloc = self.make(memory)
+        pages = alloc.alloc_pages(10, "test")
+        assert len(set(pages)) == 10
+        assert all(pa % PAGE_SIZE == 0 for pa in pages)
+
+    def test_allocated_pages_are_scrubbed(self, memory):
+        alloc = self.make(memory)
+        pa = alloc.alloc_page()
+        memory.write(pa, b"\xFF" * PAGE_SIZE)
+        alloc.free_page(pa)
+        pa2 = alloc.alloc_page()
+        if pa2 == pa:
+            assert memory.read(pa2, PAGE_SIZE) == b"\x00" * PAGE_SIZE
+
+    def test_seed_changes_allocation_order(self, memory):
+        a = self.make(memory, seed=1).alloc_pages(8)
+        b = self.make(PhysicalMemory(4 * MIB), pages=64, seed=2)
+        assert a != b.alloc_pages(8)
+
+    def test_exhaustion(self, memory):
+        alloc = self.make(memory, pages=4)
+        alloc.alloc_pages(4)
+        with pytest.raises(AllocationError):
+            alloc.alloc_page()
+
+    def test_bulk_exhaustion_checked_up_front(self, memory):
+        alloc = self.make(memory, pages=4)
+        with pytest.raises(AllocationError):
+            alloc.alloc_pages(5)
+        assert alloc.pages_in_use == 0  # nothing leaked
+
+    def test_double_free_rejected(self, memory):
+        alloc = self.make(memory)
+        pa = alloc.alloc_page()
+        alloc.free_page(pa)
+        with pytest.raises(AllocationError):
+            alloc.free_page(pa)
+
+    def test_free_recycles(self, memory):
+        alloc = self.make(memory, pages=2)
+        pages = alloc.alloc_pages(2)
+        alloc.free_pages(pages)
+        assert alloc.pages_free == 2
+        alloc.alloc_pages(2)
+
+    def test_usage_by_tag(self, memory):
+        alloc = self.make(memory)
+        alloc.alloc_pages(3, "pgtable")
+        alloc.alloc_pages(2, "buffer")
+        usage = alloc.usage_by_tag()
+        assert usage == {"pgtable": 3, "buffer": 2}
+
+    def test_owner_of(self, memory):
+        alloc = self.make(memory)
+        pa = alloc.alloc_page("mine")
+        assert alloc.owner_of(pa) == "mine"
+        assert alloc.owner_of(pa + PAGE_SIZE * 1000) is None
+
+    def test_unaligned_base_rejected(self, memory):
+        with pytest.raises(AllocationError):
+            PageAllocator(memory, base_pa=100, page_count=4)
+
+    def test_region_exceeding_memory_rejected(self, memory):
+        with pytest.raises(AllocationError):
+            PageAllocator(memory, base_pa=0,
+                          page_count=memory.size // PAGE_SIZE + 1)

@@ -1,0 +1,159 @@
+"""Register files and the MMIO bus."""
+
+import pytest
+
+from repro.errors import MmioError
+from repro.soc.mmio import MmioBus, RegAttr, RegisterDef, RegisterFile
+
+
+def make_regfile():
+    return RegisterFile([
+        RegisterDef("CTRL", 0x00, RegAttr.rw(), reset=7),
+        RegisterDef("STATUS", 0x04, RegAttr.ro()),
+        RegisterDef("KICK", 0x08, RegAttr.WRITABLE | RegAttr.WRITE_TRIGGER),
+        RegisterDef("COUNTER", 0x0C, RegAttr.READABLE | RegAttr.VOLATILE),
+    ])
+
+
+class TestRegisterFile:
+    def test_reset_values(self):
+        regs = make_regfile()
+        assert regs.read("CTRL") == 7
+        assert regs.read("STATUS") == 0
+
+    def test_write_read_roundtrip(self):
+        regs = make_regfile()
+        regs.write("CTRL", 0x1234)
+        assert regs.read("CTRL") == 0x1234
+
+    def test_write_truncated_to_32_bits(self):
+        regs = make_regfile()
+        regs.write("CTRL", 0x1_0000_0001)
+        assert regs.read("CTRL") == 1
+
+    def test_read_only_rejects_writes(self):
+        regs = make_regfile()
+        with pytest.raises(MmioError):
+            regs.write("STATUS", 1)
+
+    def test_write_only_rejects_reads(self):
+        regs = make_regfile()
+        with pytest.raises(MmioError):
+            regs.read("KICK")
+
+    def test_unknown_register(self):
+        regs = make_regfile()
+        with pytest.raises(MmioError):
+            regs.read("NOPE")
+
+    def test_write_handler_sees_old_and_new(self):
+        regs = make_regfile()
+        seen = []
+        regs.set_write_handler("CTRL", lambda old, new:
+                               seen.append((old, new)))
+        regs.write("CTRL", 99)
+        assert seen == [(7, 99)]
+
+    def test_read_handler_overrides_value(self):
+        regs = make_regfile()
+        regs.set_read_handler("STATUS", lambda stored: stored | 0x80)
+        assert regs.read("STATUS") == 0x80
+
+    def test_access_hooks_observe_reads_and_writes(self):
+        regs = make_regfile()
+        log = []
+        regs.add_access_hook(lambda kind, name, value:
+                             log.append((kind, name, value)))
+        regs.write("CTRL", 5)
+        regs.read("CTRL")
+        assert log == [("w", "CTRL", 5), ("r", "CTRL", 5)]
+
+    def test_hook_removal(self):
+        regs = make_regfile()
+        log = []
+        hook = lambda *a: log.append(a)  # noqa: E731
+        regs.add_access_hook(hook)
+        regs.remove_access_hook(hook)
+        regs.write("CTRL", 5)
+        assert log == []
+
+    def test_peek_poke_bypass_handlers_and_hooks(self):
+        regs = make_regfile()
+        log = []
+        regs.add_access_hook(lambda *a: log.append(a))
+        regs.set_write_handler("CTRL", lambda o, n: log.append("h"))
+        regs.poke("CTRL", 42)
+        assert regs.peek("CTRL") == 42
+        assert log == []
+
+    def test_snapshot_restore(self):
+        regs = make_regfile()
+        regs.write("CTRL", 10)
+        snap = regs.snapshot()
+        regs.write("CTRL", 20)
+        regs.restore(snap)
+        assert regs.peek("CTRL") == 10
+
+    def test_gate_makes_block_dead(self):
+        regs = make_regfile()
+        powered = [False]
+        regs.set_gate(lambda: powered[0])
+        assert regs.read("CTRL") == 0xFFFFFFFF
+        regs.write("CTRL", 5)  # dropped
+        powered[0] = True
+        assert regs.read("CTRL") == 7
+
+    def test_duplicate_name_rejected(self):
+        with pytest.raises(MmioError):
+            RegisterFile([RegisterDef("A", 0), RegisterDef("A", 4)])
+
+    def test_duplicate_offset_rejected(self):
+        with pytest.raises(MmioError):
+            RegisterFile([RegisterDef("A", 0), RegisterDef("B", 0)])
+
+    def test_unaligned_offset_rejected(self):
+        with pytest.raises(MmioError):
+            RegisterFile([RegisterDef("A", 2)])
+
+    def test_span(self):
+        assert make_regfile().span() == 0x10
+
+    def test_name_offset_mapping(self):
+        regs = make_regfile()
+        assert regs.name_to_offset("KICK") == 0x08
+        assert regs.lookup_offset(0x08).name == "KICK"
+
+
+class TestMmioBus:
+    def test_routes_by_address(self):
+        bus = MmioBus()
+        regs = make_regfile()
+        bus.map(0x1000, regs)
+        bus.write(0x1000, 123)
+        assert bus.read(0x1000) == 123
+        assert regs.peek("CTRL") == 123
+
+    def test_offset_within_block(self):
+        bus = MmioBus()
+        regs = make_regfile()
+        bus.map(0x1000, regs)
+        regs.poke("STATUS", 9)
+        assert bus.read(0x1004) == 9
+
+    def test_unmapped_address(self):
+        bus = MmioBus()
+        with pytest.raises(MmioError):
+            bus.read(0x9999_0000)
+
+    def test_overlapping_mapping_rejected(self):
+        bus = MmioBus()
+        bus.map(0x1000, make_regfile())
+        with pytest.raises(MmioError):
+            bus.map(0x1008, make_regfile())
+
+    def test_base_of(self):
+        bus = MmioBus()
+        regs = make_regfile()
+        bus.map(0x2000, regs)
+        assert bus.base_of(regs) == 0x2000
+        assert bus.base_of(make_regfile()) is None

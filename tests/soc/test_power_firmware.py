@@ -1,0 +1,112 @@
+"""Power domains and the firmware mailbox."""
+
+import pytest
+
+from repro.errors import FirmwareError, SocError
+from repro.soc import firmware as fw
+from repro.soc.clock import VirtualClock
+from repro.soc.power import PowerController, PowerDomain
+from repro.units import MS, US
+
+
+class TestPowerDomain:
+    def test_starts_off(self):
+        domain = PowerDomain("gpu", VirtualClock(), settle_ns=1 * MS)
+        assert not domain.is_on
+        assert not domain.is_stable()
+
+    def test_needs_settling_after_power_on(self):
+        clock = VirtualClock()
+        domain = PowerDomain("gpu", clock, settle_ns=1 * MS)
+        domain.power_on()
+        assert domain.is_on and not domain.is_stable()
+        clock.advance(1 * MS)
+        assert domain.is_stable()
+
+    def test_require_stable_raises_before_settle(self):
+        clock = VirtualClock()
+        domain = PowerDomain("gpu", clock, settle_ns=1 * MS)
+        domain.power_on()
+        with pytest.raises(SocError):
+            domain.require_stable()
+
+    def test_transitions_counted(self):
+        domain = PowerDomain("gpu", VirtualClock(), settle_ns=0)
+        domain.power_on()
+        domain.power_on()  # no-op
+        domain.power_off()
+        assert domain.transitions == 2
+
+
+class TestPowerController:
+    def test_ordered_bring_up_waits_each_domain(self):
+        clock = VirtualClock()
+        controller = PowerController(clock)
+        controller.add_domain("rail", settle_ns=2 * MS)
+        controller.add_domain("core", settle_ns=1 * MS)
+        controller.power_on_in_order()
+        assert controller.all_stable()
+        assert clock.now() >= 3 * MS
+
+    def test_duplicate_domain_rejected(self):
+        controller = PowerController(VirtualClock())
+        controller.add_domain("rail", 0)
+        with pytest.raises(SocError):
+            controller.add_domain("rail", 0)
+
+    def test_power_off_all(self):
+        controller = PowerController(VirtualClock())
+        controller.add_domain("rail", 0)
+        controller.power_on_in_order()
+        controller.power_off_all()
+        assert not controller.domain("rail").is_on
+
+
+class TestFirmwareMailbox:
+    def make(self):
+        clock = VirtualClock()
+        mailbox = fw.FirmwareMailbox(clock)
+        mailbox.define_device(10, default_clock_hz=500_000_000)
+        return clock, mailbox
+
+    def test_power_toggle(self):
+        _clock, mailbox = self.make()
+        assert not mailbox.is_powered(10)
+        mailbox.request(fw.TAG_SET_POWER, 10, 1)
+        assert mailbox.is_powered(10)
+        assert mailbox.request(fw.TAG_GET_POWER, 10) == 1
+
+    def test_clock_rate(self):
+        _clock, mailbox = self.make()
+        mailbox.request(fw.TAG_SET_CLOCK_RATE, 10, 300_000_000)
+        assert mailbox.clock_rate(10) == 300_000_000
+        assert mailbox.request(fw.TAG_GET_CLOCK_RATE, 10) == 300_000_000
+
+    def test_calls_cost_virtual_time(self):
+        clock, mailbox = self.make()
+        mailbox.request(fw.TAG_GET_POWER, 10)
+        assert clock.now() == fw.MAILBOX_CALL_NS
+
+    def test_call_log_for_extraction(self):
+        _clock, mailbox = self.make()
+        mailbox.request(fw.TAG_SET_POWER, 10, 1)
+        mailbox.request(fw.TAG_SET_CLOCK_RATE, 10, 100)
+        assert mailbox.extract_sequence() == [
+            (fw.TAG_SET_POWER, 10, 1),
+            (fw.TAG_SET_CLOCK_RATE, 10, 100),
+        ]
+
+    def test_unknown_device(self):
+        _clock, mailbox = self.make()
+        with pytest.raises(FirmwareError):
+            mailbox.request(fw.TAG_SET_POWER, 99, 1)
+
+    def test_unknown_tag(self):
+        _clock, mailbox = self.make()
+        with pytest.raises(FirmwareError):
+            mailbox.request(0xBAD, 10, 0)
+
+    def test_zero_clock_rejected(self):
+        _clock, mailbox = self.make()
+        with pytest.raises(FirmwareError):
+            mailbox.request(fw.TAG_SET_CLOCK_RATE, 10, 0)

@@ -1,0 +1,147 @@
+"""The Adreno driver and its record/replay integration."""
+
+import numpy as np
+import pytest
+
+from repro.core import Replayer, record_inference
+from repro.core.recorder import AdrenoRecorder, make_recorder
+from repro.errors import DriverError
+from repro.soc import Machine
+from repro.stack.driver import AdrenoDriver, MemFlags
+from repro.stack.driver.ioctl import IoctlCode
+from repro.stack.framework import AclNetwork, build_model
+from repro.stack.reference import run_reference
+from repro.stack.runtime import OpenClRuntime
+
+
+@pytest.fixture
+def driver():
+    machine = Machine.create("pixel4", seed=81)
+    driver = AdrenoDriver(machine)
+    driver.open()
+    driver.create_context()
+    return driver
+
+
+def submit_vecadd(driver, n=64, seed=0):
+    from repro.gpu.isa import (Instruction, Op, Program, TensorRef,
+                               encode_program)
+    ctx = driver.require_ctx()
+    rng = np.random.default_rng(seed)
+    a = rng.standard_normal(n).astype(np.float32)
+    b = rng.standard_normal(n).astype(np.float32)
+    buf = driver.ioctl(IoctlCode.MEM_ALLOC, size=3 * n * 4,
+                       flags=MemFlags.data_buffer(), tag="buf")
+    ctx.cpu_write(buf, a.tobytes() + b.tobytes())
+    blob = encode_program(Program([Instruction(Op.ADD, (
+        TensorRef(buf, (n,)), TensorRef(buf + n * 4, (n,)),
+        TensorRef(buf + 2 * n * 4, (n,))))]))
+    shader = driver.ioctl(IoctlCode.MEM_ALLOC, size=len(blob),
+                          flags=MemFlags.job_binary(), tag="shader")
+    ctx.cpu_write(shader, blob)
+    job_id = driver.ioctl(IoctlCode.JOB_SUBMIT, chain_va=shader,
+                          affinity=len(blob))
+    return job_id, a + b, buf + 2 * n * 4
+
+
+class TestDriver:
+    def test_requires_adreno_gpu(self):
+        with pytest.raises(DriverError):
+            AdrenoDriver(Machine.create("hikey960", seed=82))
+
+    def test_open_powers_and_programs_ring(self, driver):
+        regs = driver.regs
+        assert regs.peek("GDSC_PWR_STATUS") == 1
+        assert regs.peek("SPTP_PWR_STATUS") == 1
+        assert regs.peek("CP_RB_SIZE") > 0
+
+    def test_submit_wait_results(self, driver):
+        job_id, expected, out_va = submit_vecadd(driver)
+        assert driver.ioctl(IoctlCode.JOB_WAIT, job_id=job_id) == "DONE"
+        got = np.frombuffer(driver.ctx.cpu_read(out_va, expected.nbytes),
+                            np.float32)
+        assert np.array_equal(got, expected)
+
+    def test_many_submissions_advance_the_ring(self, driver):
+        for seed in range(5):
+            job_id, expected, out_va = submit_vecadd(driver, seed=seed)
+            driver.ioctl(IoctlCode.JOB_WAIT, job_id=job_id)
+        assert driver.regs.peek("CP_RB_RPTR") == 5 * 16
+
+    def test_rewind_requires_idle(self, driver):
+        job_id, _e, _v = submit_vecadd(driver)
+        with pytest.raises(DriverError):
+            driver.rewind_ring()
+        driver.ioctl(IoctlCode.JOB_WAIT, job_id=job_id)
+        driver.rewind_ring()
+        assert driver.regs.peek("CP_RB_WPTR") == 0
+
+    def test_smmu_fault_reported(self, driver):
+        bad = driver.ioctl(IoctlCode.MEM_ALLOC, size=4096,
+                           flags=MemFlags.job_binary())
+        driver.ctx.cpu_write(bad, b"\x00" * 64)
+        # A valid-magic packet pointing into unmapped space.
+        job_id = driver.ioctl(IoctlCode.JOB_SUBMIT,
+                              chain_va=0x0F00_0000, affinity=64)
+        with pytest.raises(DriverError):
+            driver.ioctl(IoctlCode.JOB_WAIT, job_id=job_id)
+        assert driver.mmu_faults
+
+    def test_cache_flush(self, driver):
+        driver.ioctl(IoctlCode.CACHE_FLUSH)
+
+
+class TestRecordReplay:
+    def test_recorder_family_selection(self, driver):
+        assert isinstance(make_recorder(driver), AdrenoRecorder)
+
+    def test_full_roundtrip_on_pixel4(self):
+        machine = Machine.create("pixel4", seed=83)
+        net = AclNetwork(OpenClRuntime(AdrenoDriver(machine)),
+                         build_model("squeezenet"), fuse=True)
+        net.configure()
+        net.run(np.zeros(net.model.input_shape, np.float32))
+        workload = record_inference(net)
+        recording = workload.recording
+        assert recording.meta.gpu_model == "adreno-640"
+        assert recording.meta.pte_format == "adreno-smmu"
+        # The ring prologue is part of the recording.
+        from repro.core import actions as act
+        prologue = recording.actions[:recording.meta.prologue_len]
+        ring_regs = {a.reg for a in prologue
+                     if isinstance(a, act.RegWrite)}
+        assert {"CP_RB_BASE_LO", "CP_RB_BASE_HI", "CP_RB_SIZE"} <= \
+            ring_regs
+
+        target = Machine.create("pixel4", seed=84)
+        replayer = Replayer(target)
+        replayer.init()
+        replayer.load(recording)
+        x = np.random.default_rng(7).standard_normal(
+            net.model.input_shape).astype(np.float32)
+        result = replayer.replay(inputs={"input": x})
+        expected = run_reference(net.model, x, fuse=True)
+        assert np.array_equal(result.output,
+                              expected.reshape(result.output.shape))
+        # Repeat replays reuse the session and stay correct.
+        result2 = replayer.replay(inputs={"input": -x})
+        expected2 = run_reference(net.model, -x, fuse=True)
+        assert np.array_equal(result2.output,
+                              expected2.reshape(result2.output.shape))
+
+    def test_adreno_recording_does_not_port_to_mali(self):
+        """Cross-*family* portability is out of scope (Section 6.4)."""
+        machine = Machine.create("pixel4", seed=85)
+        net = AclNetwork(OpenClRuntime(AdrenoDriver(machine)),
+                         build_model("mnist"), fuse=True)
+        net.configure()
+        net.run(np.zeros(net.model.input_shape, np.float32))
+        workload = record_inference(net)
+        from repro.errors import ReproError
+        replayer = Replayer(Machine.create("hikey960", seed=86))
+        replayer.init()
+        with pytest.raises(ReproError):
+            replayer.load(workload.recording)
+            replayer.replay(
+                inputs={"input": np.zeros((1, 16, 16), np.float32)},
+                max_attempts=1)

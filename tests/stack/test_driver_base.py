@@ -1,0 +1,112 @@
+"""Driver-base machinery: traced accessors, waits, ioctl dispatch."""
+
+import pytest
+
+from repro.errors import DriverError
+from repro.soc import Machine
+from repro.stack.driver import MaliDriver
+from repro.stack.driver.base import SCHED_WAKEUP_NS
+from repro.stack.driver.ioctl import (IOCTL_CROSSING_NS, IoctlCode,
+                                      IoctlDispatcher)
+from repro.stack.driver.trace import ListTracer, RegPollEvent, RegWriteEvent
+
+
+@pytest.fixture
+def driver():
+    return MaliDriver(Machine.create("hikey960", seed=301))
+
+
+class TestAccessors:
+    def test_reg_write_with_mask_preserves_other_bits(self, driver):
+        driver.regs.poke("AS0_MEMATTR", 0xF0)
+        driver.reg_write("AS0_MEMATTR", 0xFF, "t", mask=0x0F)
+        assert driver.regs.peek("AS0_MEMATTR") == 0xFF
+        driver.reg_write("AS0_MEMATTR", 0x00, "t", mask=0xF0)
+        assert driver.regs.peek("AS0_MEMATTR") == 0x0F
+
+    def test_accessors_cost_virtual_time(self, driver):
+        t0 = driver.clock.now()
+        driver.reg_read("GPU_ID", "t")
+        assert driver.clock.now() > t0
+
+    def test_reg_io_counter(self, driver):
+        before = driver.reg_io_count
+        driver.reg_read("GPU_ID", "t")
+        driver.reg_write("GPU_IRQ_MASK", 0, "t")
+        assert driver.reg_io_count == before + 2
+
+    def test_poll_counts_every_read(self, driver):
+        tracer = ListTracer()
+        driver.attach_tracer(tracer)
+        before = driver.reg_io_count
+        # GPU_ID never changes: the poll burns its whole timeout.
+        ok = driver.reg_poll("GPU_ID", 0xFFFFFFFF, 0, "t",
+                             timeout_ns=200_000)
+        assert not ok
+        polls = tracer.of_type(RegPollEvent)[0]
+        assert not polls.success
+        assert polls.polls > 1
+        assert driver.reg_io_count - before == polls.polls
+
+    def test_poll_immediate_success(self, driver):
+        expected = driver.regs.peek("GPU_ID")
+        ok = driver.reg_poll("GPU_ID", 0xFFFFFFFF, expected, "t",
+                             timeout_ns=1_000_000)
+        assert ok
+
+
+class TestWaitForIrq:
+    def test_satisfied_predicate_returns_without_event(self, driver):
+        tracer = ListTracer()
+        driver.attach_tracer(tracer)
+        assert driver.wait_for_irq(lambda: True, 1_000_000, "t")
+        assert tracer.events == []
+
+    def test_wait_pays_wakeup_latency(self, driver):
+        flag = []
+        driver.machine.clock.schedule(100_000, lambda: flag.append(1))
+        t0 = driver.clock.now()
+        assert driver.wait_for_irq(lambda: bool(flag), 10_000_000, "t")
+        assert driver.clock.now() - t0 >= 100_000 + SCHED_WAKEUP_NS
+
+    def test_timeout_returns_false(self, driver):
+        assert not driver.wait_for_irq(lambda: False, 300_000, "t")
+
+
+class TestIoctlDispatcher:
+    def test_unsupported_code(self):
+        from repro.soc.clock import VirtualClock
+        dispatcher = IoctlDispatcher(VirtualClock())
+        with pytest.raises(DriverError):
+            dispatcher.call(IoctlCode.MEM_ALLOC, size=1)
+
+    def test_crossing_cost_and_count(self):
+        from repro.soc.clock import VirtualClock
+        clock = VirtualClock()
+        dispatcher = IoctlDispatcher(clock)
+        dispatcher.register(IoctlCode.VERSION_CHECK, lambda: 42)
+        assert dispatcher.call(IoctlCode.VERSION_CHECK) == 42
+        assert clock.now() == IOCTL_CROSSING_NS
+        assert dispatcher.call_count == 1
+
+
+class TestTracerPlumbing:
+    def test_multiple_tracers_all_receive(self, driver):
+        a, b = ListTracer(), ListTracer()
+        driver.attach_tracer(a)
+        driver.attach_tracer(b)
+        driver.reg_write("GPU_IRQ_MASK", 1, "t")
+        assert len(a.of_type(RegWriteEvent)) == 1
+        assert len(b.of_type(RegWriteEvent)) == 1
+
+    def test_clear(self):
+        tracer = ListTracer()
+        tracer.emit(RegWriteEvent(0, "s", False, "R", 0xFFFFFFFF, 1))
+        tracer.clear()
+        assert tracer.events == []
+
+    def test_require_open_guard(self, driver):
+        with pytest.raises(DriverError):
+            driver.require_open()
+        driver.open()
+        driver.require_open()

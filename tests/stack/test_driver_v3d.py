@@ -1,0 +1,101 @@
+"""The v3d driver."""
+
+import numpy as np
+import pytest
+
+from repro.errors import DriverError
+from repro.gpu import jobs as jobfmt
+from repro.gpu.isa import (Instruction, Op, Program, TensorRef,
+                           encode_program)
+from repro.soc import Machine, firmware as fw
+from repro.stack.driver import MemFlags, V3dDriver
+from repro.stack.driver.ioctl import IoctlCode
+from repro.stack.driver.trace import ListTracer, RegPollEvent
+
+
+@pytest.fixture
+def machine():
+    return Machine.create("raspberrypi4", seed=61)
+
+
+@pytest.fixture
+def driver(machine):
+    driver = V3dDriver(machine)
+    driver.open()
+    driver.create_context()
+    return driver
+
+
+def submit_vecadd(driver, n=64, seed=0):
+    ctx = driver.require_ctx()
+    rng = np.random.default_rng(seed)
+    a = rng.standard_normal(n).astype(np.float32)
+    b = rng.standard_normal(n).astype(np.float32)
+    buf = driver.ioctl(IoctlCode.MEM_ALLOC, size=3 * n * 4,
+                       flags=MemFlags.data_buffer(), tag="buf")
+    ctx.cpu_write(buf, a.tobytes() + b.tobytes())
+    blob = encode_program(Program([Instruction(Op.ADD, (
+        TensorRef(buf, (n,)), TensorRef(buf + n * 4, (n,)),
+        TensorRef(buf + 2 * n * 4, (n,))))]))
+    binary = driver.ioctl(IoctlCode.MEM_ALLOC, size=64 + len(blob) + 32,
+                          flags=MemFlags.job_binary(), tag="binary")
+    ctx.cpu_write(binary + 64, blob)
+    packets = jobfmt.encode_cl_exec(binary + 64, len(blob)) \
+        + jobfmt.encode_cl_halt()
+    ctx.cpu_write(binary, packets)
+    job_id = driver.ioctl(IoctlCode.JOB_SUBMIT, chain_va=binary,
+                          affinity=binary + len(packets))
+    return job_id, a + b, buf + 2 * n * 4
+
+
+class TestLifecycle:
+    def test_open_powers_via_firmware(self, machine, driver):
+        assert machine.firmware.is_powered(10)
+        tags = [c.tag for c in machine.firmware.call_log]
+        assert fw.TAG_SET_POWER in tags
+        assert fw.TAG_SET_CLOCK_RATE in tags
+
+    def test_close_powers_off(self, machine, driver):
+        driver.close()
+        assert not machine.firmware.is_powered(10)
+
+    def test_requires_v3d(self):
+        with pytest.raises(DriverError):
+            V3dDriver(Machine.create("hikey960", seed=62))
+
+
+class TestJobs:
+    def test_submit_wait_results(self, driver):
+        job_id, expected, out_va = submit_vecadd(driver)
+        assert driver.ioctl(IoctlCode.JOB_WAIT, job_id=job_id) == "DONE"
+        got = np.frombuffer(driver.ctx.cpu_read(out_va, expected.nbytes),
+                            np.float32)
+        assert np.array_equal(got, expected)
+
+    def test_single_slot_queue_serializes(self, driver):
+        assert driver.queue.num_slots == 1
+        ids = [submit_vecadd(driver, seed=i)[0] for i in range(3)]
+        for job_id in ids:
+            assert driver.ioctl(IoctlCode.JOB_WAIT, job_id=job_id) == \
+                "DONE"
+
+    def test_mmu_fault_recorded(self, driver):
+        ctx = driver.require_ctx()
+        binary = driver.ioctl(IoctlCode.MEM_ALLOC, size=4096,
+                              flags=MemFlags.job_binary())
+        packets = jobfmt.encode_cl_exec(0x0F00_0000, 64) \
+            + jobfmt.encode_cl_halt()
+        ctx.cpu_write(binary, packets)
+        job_id = driver.ioctl(IoctlCode.JOB_SUBMIT, chain_va=binary,
+                              affinity=binary + len(packets))
+        with pytest.raises(DriverError):
+            driver.ioctl(IoctlCode.JOB_WAIT, job_id=job_id)
+        assert driver.mmu_faults
+
+    def test_cache_flush_polls_until_bit_clears(self, driver):
+        tracer = ListTracer()
+        driver.attach_tracer(tracer)
+        driver.ioctl(IoctlCode.CACHE_FLUSH)
+        polls = [p for p in tracer.of_type(RegPollEvent)
+                 if p.name == "L2TCACTL"]
+        assert polls and polls[0].success

@@ -1,0 +1,183 @@
+"""Framework runners: ACL, ncnn, the TF delegate, DeepCL."""
+
+import numpy as np
+import pytest
+
+from repro.errors import FrameworkError
+from repro.soc import Machine
+from repro.stack.driver import MaliDriver, V3dDriver
+from repro.stack.framework import (AclNetwork, DeepClTrainer, NcnnNetwork,
+                                   TensorflowNetwork, build_model)
+from repro.stack.framework.deepcl import TrainSpec, mnist_train_spec
+from repro.stack.reference import run_reference
+from repro.stack.runtime import (GlesComputeRuntime, OpenClRuntime,
+                                 VulkanRuntime)
+
+
+def mali_runtime(seed=91, cls=OpenClRuntime):
+    return cls(MaliDriver(Machine.create("hikey960", seed=seed)))
+
+
+def v3d_runtime(seed=92):
+    return VulkanRuntime(V3dDriver(Machine.create("raspberrypi4",
+                                                  seed=seed)))
+
+
+class TestAcl:
+    def test_inference_matches_reference(self):
+        model = build_model("squeezenet")
+        net = AclNetwork(mali_runtime(), model, fuse=False)
+        net.configure()
+        x = np.random.default_rng(4).standard_normal(
+            model.input_shape).astype(np.float32)
+        y = net.run(x)
+        assert np.array_equal(
+            y, run_reference(model, x, fuse=False).reshape(y.shape))
+
+    def test_fused_inference_matches_reference(self):
+        model = build_model("resnet12")
+        net = AclNetwork(mali_runtime(seed=93), model, fuse=True)
+        net.configure()
+        x = np.random.default_rng(5).standard_normal(
+            model.input_shape).astype(np.float32)
+        y = net.run(x)
+        assert np.array_equal(
+            y, run_reference(model, x, fuse=True).reshape(y.shape))
+
+    def test_startup_phases_accounted(self):
+        net = AclNetwork(mali_runtime(seed=94), build_model("mnist"))
+        net.configure()
+        assert set(net.startup_phases) == {
+            "framework_init", "runtime_context", "buffer_alloc",
+            "weights_upload", "kernel_compile"}
+        assert net.startup_ns == sum(net.startup_phases.values())
+        assert net.startup_phases["kernel_compile"] > 0
+
+    def test_run_before_configure_rejected(self):
+        net = AclNetwork(mali_runtime(seed=95), build_model("mnist"))
+        with pytest.raises(FrameworkError):
+            net.run(np.zeros((1, 16, 16), np.float32))
+
+    def test_double_configure_rejected(self):
+        net = AclNetwork(mali_runtime(seed=96), build_model("mnist"))
+        net.configure()
+        with pytest.raises(FrameworkError):
+            net.configure()
+
+    def test_wrong_input_shape_rejected(self):
+        net = AclNetwork(mali_runtime(seed=97), build_model("mnist"))
+        net.configure()
+        with pytest.raises(FrameworkError):
+            net.run(np.zeros((3, 3, 3), np.float32))
+
+    def test_layer_hook_called_per_layer(self):
+        model = build_model("mnist")
+        net = AclNetwork(mali_runtime(seed=98), model)
+        net.configure()
+        seen = []
+        net.run(np.zeros(model.input_shape, np.float32),
+                layer_hook=lambda i, g: seen.append(g.layer.name))
+        assert seen == [layer.name for layer in model.layers]
+
+    def test_acl_rejects_vulkan(self):
+        with pytest.raises(FrameworkError):
+            AclNetwork(v3d_runtime(), build_model("mnist"))
+
+    def test_acl_accepts_gles(self):
+        net = AclNetwork(mali_runtime(seed=99, cls=GlesComputeRuntime),
+                         build_model("mnist"))
+        net.configure()
+
+    def test_release(self):
+        net = AclNetwork(mali_runtime(seed=100), build_model("mnist"))
+        net.configure()
+        net.release()
+        assert not net.configured
+
+
+class TestNcnn:
+    def test_inference_on_v3d_matches_reference(self):
+        model = build_model("yolov4-tiny")
+        net = NcnnNetwork(v3d_runtime(seed=101), model)
+        net.configure()
+        x = np.random.default_rng(6).standard_normal(
+            model.input_shape).astype(np.float32)
+        y = net.run(x)
+        assert np.array_equal(
+            y, run_reference(model, x, fuse=False).reshape(y.shape))
+
+    def test_framework_init_dominates_startup(self):
+        """The v3d bottleneck of Figure 6 is ncnn pipeline building."""
+        net = NcnnNetwork(v3d_runtime(seed=102), build_model("mobilenet"))
+        net.configure()
+        phases = net.startup_phases
+        assert phases["framework_init"] == max(phases.values())
+
+    def test_requires_vulkan(self):
+        with pytest.raises(FrameworkError):
+            NcnnNetwork(mali_runtime(seed=103), build_model("mnist"))
+
+
+class TestTensorflowDelegate:
+    def test_runs_through_acl(self):
+        model = build_model("kws")
+        net = TensorflowNetwork(mali_runtime(seed=104), model)
+        net.configure()
+        x = np.random.default_rng(7).standard_normal(
+            model.input_shape).astype(np.float32)
+        y = net.run(x)
+        assert np.array_equal(
+            y, run_reference(model, x, fuse=True).reshape(y.shape))
+
+
+class TestDeepCl:
+    def test_training_matches_cpu_reference(self):
+        spec = mnist_train_spec(batch=8)
+        trainer = DeepClTrainer(mali_runtime(seed=105), spec)
+        trainer.configure()
+        rng = np.random.default_rng(8)
+        x = rng.standard_normal((8, spec.input_dim)).astype(np.float32)
+        y = np.zeros((8, spec.classes), np.float32)
+        y[np.arange(8), rng.integers(0, spec.classes, 8)] = 1
+        losses = trainer.train(x, y, max_iters=4)
+        _w, ref = DeepClTrainer.reference_train(
+            spec, trainer.initial_weights(), x, y, 4)
+        assert np.allclose(losses, ref, rtol=1e-6)
+
+    def test_losses_decrease(self):
+        spec = mnist_train_spec(batch=8)
+        trainer = DeepClTrainer(mali_runtime(seed=106), spec)
+        trainer.configure()
+        rng = np.random.default_rng(9)
+        x = rng.standard_normal((8, spec.input_dim)).astype(np.float32)
+        y = np.zeros((8, spec.classes), np.float32)
+        y[np.arange(8), rng.integers(0, spec.classes, 8)] = 1
+        losses = trainer.train(x, y, max_iters=6)
+        assert losses[-1] < losses[0]
+
+    def test_convergence_predicate_stops_early(self):
+        spec = mnist_train_spec(batch=8)
+        trainer = DeepClTrainer(mali_runtime(seed=107), spec)
+        trainer.configure()
+        rng = np.random.default_rng(10)
+        x = rng.standard_normal((8, spec.input_dim)).astype(np.float32)
+        y = np.zeros((8, spec.classes), np.float32)
+        y[np.arange(8), rng.integers(0, spec.classes, 8)] = 1
+        losses = trainer.train(x, y, max_iters=50, target_loss=1.0)
+        assert len(losses) < 50
+        assert losses[-1] <= 1.0
+
+    def test_requires_opencl(self):
+        with pytest.raises(FrameworkError):
+            DeepClTrainer(v3d_runtime(seed=108), mnist_train_spec())
+
+    def test_run_before_configure_rejected(self):
+        trainer = DeepClTrainer(mali_runtime(seed=109),
+                                mnist_train_spec())
+        with pytest.raises(FrameworkError):
+            trainer.run_iteration(np.zeros((16, 64), np.float32),
+                                  np.zeros((16, 10), np.float32))
+
+    def test_layer_dims(self):
+        spec = TrainSpec("t", 10, (8, 6), 4, batch=2)
+        assert spec.layer_dims() == [(10, 8), (8, 6), (6, 4)]

@@ -1,0 +1,104 @@
+"""Lowering (fusion, job counts) and the CPU reference executor."""
+
+import numpy as np
+import pytest
+
+from repro.errors import FrameworkError
+from repro.stack.framework.lowering import (job_count, lower_model,
+                                            model_slot_shapes)
+from repro.stack.framework.models import MODEL_ZOO, build_model
+from repro.stack.reference import run_reference
+
+
+def x_for(model, seed=0):
+    return np.random.default_rng(seed).standard_normal(
+        model.input_shape).astype(np.float32)
+
+
+class TestLowering:
+    def test_fusion_reduces_job_count(self):
+        model = build_model("alexnet")
+        assert job_count(model, fuse=True) < job_count(model, fuse=False)
+
+    def test_unfused_conv_has_reformat_main_act(self):
+        model = build_model("mnist")
+        groups = lower_model(model, fuse=False)
+        conv = next(g for g in groups if g.layer.name == "conv1")
+        names = [k.name for k in conv.kernels]
+        assert names == ["conv1:reformat", "conv1:main", "conv1:act"]
+
+    def test_fused_conv_is_one_kernel(self):
+        model = build_model("mnist")
+        groups = lower_model(model, fuse=True)
+        conv = next(g for g in groups if g.layer.name == "conv1")
+        assert len(conv.kernels) == 1
+        assert len(conv.kernels[0].ops) == 2  # conv + activation
+
+    def test_jobs_per_layer_in_paper_range(self):
+        """Tens of jobs per NN, a handful per layer (Section 2.2)."""
+        for name in ("mnist", "alexnet", "mobilenet", "vgg16"):
+            model = build_model(name)
+            jobs = job_count(model, fuse=False)
+            assert 1.0 <= jobs / len(model.layers) <= 6.0
+            assert 10 <= jobs <= 200
+
+    def test_slot_shapes_consistent(self):
+        shapes = model_slot_shapes(build_model("squeezenet"), fuse=False)
+        assert shapes["input"] == (3, 32, 32)
+        assert all(all(d > 0 for d in s) for s in shapes.values())
+
+    @pytest.mark.parametrize("name", sorted(MODEL_ZOO))
+    def test_every_model_lowers_both_ways(self, name):
+        model = build_model(name)
+        for fuse in (False, True):
+            groups = lower_model(model, fuse)
+            assert len(groups) == len(model.layers)
+            for group in groups:
+                for kernel in group.kernels:
+                    kernel.validate()
+
+
+class TestReference:
+    def test_mnist_output_is_distribution(self):
+        model = build_model("mnist")
+        out = run_reference(model, x_for(model))
+        assert out.shape == (1, 10)
+        assert np.isclose(out.sum(), 1.0, atol=1e-5)
+
+    def test_fused_and_unfused_lowering_agree(self):
+        for name in ("mnist", "squeezenet", "resnet12", "yolov4-tiny"):
+            model = build_model(name)
+            x = x_for(model, seed=3)
+            fused = run_reference(model, x, fuse=True)
+            unfused = run_reference(model, x, fuse=False)
+            assert np.array_equal(fused, unfused), name
+
+    def test_reference_uses_supplied_weights(self):
+        from repro.stack.framework.layers import init_weights
+        model = build_model("mnist")
+        x = x_for(model)
+        weights = init_weights(model)
+        baseline = run_reference(model, x, weights)
+        bumped = weights["fc2.b"].copy()
+        bumped[0] += 5.0  # shift one logit (a uniform shift would be
+        # invisible through the softmax)
+        weights["fc2.b"] = bumped
+        changed = run_reference(model, x, weights)
+        assert not np.array_equal(baseline, changed)
+
+    def test_wrong_input_shape_rejected(self):
+        model = build_model("mnist")
+        with pytest.raises(FrameworkError):
+            run_reference(model, np.zeros((2, 2), np.float32))
+
+    def test_deterministic(self):
+        model = build_model("googlenet-lite")
+        x = x_for(model, seed=9)
+        assert np.array_equal(run_reference(model, x),
+                              run_reference(model, x))
+
+    @pytest.mark.parametrize("name", sorted(MODEL_ZOO))
+    def test_every_model_runs_and_is_finite(self, name):
+        model = build_model(name)
+        out = run_reference(model, x_for(model, seed=1))
+        assert np.isfinite(out).all()

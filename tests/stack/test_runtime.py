@@ -1,0 +1,193 @@
+"""The compute runtimes: buffers, JIT, emission, synchronization."""
+
+import numpy as np
+import pytest
+
+from repro.errors import CompileError, RuntimeApiError
+from repro.gpu.isa import Op
+from repro.soc import Machine
+from repro.stack.driver import MaliDriver, V3dDriver
+from repro.stack.runtime import (GlesComputeRuntime, OpenClRuntime,
+                                 VulkanRuntime)
+from repro.stack.runtime.emit import (MaliJobEmitter, V3dJobEmitter,
+                                      emitter_for_family)
+from repro.stack.runtime.kernel_ir import KernelIR, KernelOp
+
+
+def vecadd_ir(n=32):
+    return KernelIR("vecadd", [KernelOp(Op.ADD, ("a", "b"), "c")],
+                    {"a": (n,), "b": (n,), "c": (n,)})
+
+
+@pytest.fixture
+def runtime():
+    machine = Machine.create("hikey960", seed=81)
+    rt = OpenClRuntime(MaliDriver(machine))
+    rt.init_context()
+    return rt
+
+
+class TestContext:
+    def test_double_init_rejected(self, runtime):
+        with pytest.raises(RuntimeApiError):
+            runtime.init_context()
+
+    def test_operations_require_context(self):
+        machine = Machine.create("hikey960", seed=82)
+        rt = OpenClRuntime(MaliDriver(machine))
+        with pytest.raises(RuntimeApiError):
+            rt.create_buffer((4,))
+
+    def test_init_costs_substantial_time(self):
+        machine = Machine.create("hikey960", seed=83)
+        rt = OpenClRuntime(MaliDriver(machine))
+        rt.init_context()
+        assert machine.clock.now() >= rt.LIB_LOAD_NS
+
+    def test_release_then_reinit(self, runtime):
+        runtime.release()
+        runtime.init_context()
+        assert runtime.initialized
+
+
+class TestBuffers:
+    def test_write_read_roundtrip(self, runtime, ):
+        buf = runtime.create_buffer((8, 4), tag="t")
+        data = np.arange(32, dtype=np.float32).reshape(8, 4)
+        runtime.write_buffer(buf, data)
+        assert np.array_equal(runtime.read_buffer(buf), data)
+
+    def test_size_mismatch_rejected(self, runtime):
+        buf = runtime.create_buffer((8,))
+        with pytest.raises(RuntimeApiError):
+            runtime.write_buffer(buf, np.zeros(9, np.float32))
+
+    def test_empty_shape_rejected(self, runtime):
+        with pytest.raises(RuntimeApiError):
+            runtime.create_buffer((0,))
+
+
+class TestKernels:
+    def test_compile_validates_ir(self, runtime):
+        bad = KernelIR("bad", [KernelOp(Op.ADD, ("a", "b"), "c")],
+                       {"a": (4,), "b": (4,)})  # missing "c"
+        with pytest.raises(CompileError):
+            runtime.compile_kernel(bad)
+
+    def test_empty_kernel_rejected(self, runtime):
+        with pytest.raises(CompileError):
+            runtime.compile_kernel(KernelIR("empty", [], {}))
+
+    def test_wrong_output_arity_rejected(self, runtime):
+        bad = KernelIR("bad", [KernelOp(
+            Op.SOFTMAX_XENT_GRAD, ("l", "y"), "d")],
+            {"l": (2, 3), "y": (2, 3), "d": (2, 3)})
+        with pytest.raises(CompileError):
+            runtime.compile_kernel(bad)
+
+    def test_enqueue_requires_all_bindings(self, runtime):
+        kernel = runtime.compile_kernel(vecadd_ir())
+        a = runtime.create_buffer((32,))
+        with pytest.raises(RuntimeApiError):
+            runtime.enqueue(kernel, {"a": a})
+
+    def test_enqueue_finish_computes(self, runtime):
+        kernel = runtime.compile_kernel(vecadd_ir())
+        bufs = {s: runtime.create_buffer((32,), tag=s)
+                for s in ("a", "b", "c")}
+        a = np.arange(32, dtype=np.float32)
+        b = np.ones(32, dtype=np.float32)
+        runtime.write_buffer(bufs["a"], a)
+        runtime.write_buffer(bufs["b"], b)
+        runtime.enqueue(kernel, bufs)
+        runtime.finish()
+        assert np.array_equal(runtime.read_buffer(bufs["c"]), a + 1)
+
+    def test_job_regions_recycled_across_runs(self, runtime):
+        kernel = runtime.compile_kernel(vecadd_ir())
+        bufs = {s: runtime.create_buffer((32,), tag=s)
+                for s in ("a", "b", "c")}
+        runtime.write_buffer(bufs["a"], np.zeros(32, np.float32))
+        runtime.write_buffer(bufs["b"], np.zeros(32, np.float32))
+        for _ in range(3):
+            runtime.enqueue(kernel, bufs)
+            runtime.finish()
+        # Region pool keeps VA usage flat: one region total.
+        assert sum(len(v) for v in runtime._job_pool.values()) == 1
+
+    def test_kernel_ir_analysis(self):
+        ir = KernelIR("two", [
+            KernelOp(Op.ADD, ("a", "b"), "t"),
+            KernelOp(Op.RELU, ("t",), "out"),
+        ], {"a": (4,), "b": (4,), "t": (4,), "out": (4,)})
+        assert ir.external_inputs() == ["a", "b"]
+        assert ir.final_outputs() == ["out"]
+        assert ir.slot_names() == ["a", "b", "t", "out"]
+
+
+class TestApiPersonalities:
+    def test_cost_profiles_ordered(self):
+        assert OpenClRuntime.COMPILE_BASE_NS > VulkanRuntime.COMPILE_BASE_NS
+        assert GlesComputeRuntime.COMPILE_BASE_NS > \
+            OpenClRuntime.COMPILE_BASE_NS
+
+    def test_vulkan_runs_on_v3d(self):
+        machine = Machine.create("raspberrypi4", seed=84)
+        rt = VulkanRuntime(V3dDriver(machine))
+        rt.init_context()
+        kernel = rt.compile_kernel(vecadd_ir())
+        bufs = {s: rt.create_buffer((32,), tag=s) for s in ("a", "b", "c")}
+        rt.write_buffer(bufs["a"], np.full(32, 2, np.float32))
+        rt.write_buffer(bufs["b"], np.full(32, 3, np.float32))
+        rt.enqueue(kernel, bufs)
+        rt.finish()
+        assert np.array_equal(rt.read_buffer(bufs["c"]),
+                              np.full(32, 5, np.float32))
+
+
+class TestEmitters:
+    def test_family_selection(self):
+        assert isinstance(emitter_for_family("mali"), MaliJobEmitter)
+        assert isinstance(emitter_for_family("v3d"), V3dJobEmitter)
+        with pytest.raises(RuntimeApiError):
+            emitter_for_family("nvidia")
+
+    def test_mali_chain_layout(self):
+        emitter = MaliJobEmitter()
+        store = {}
+
+        def write(va, data):
+            store[va] = data
+
+        blobs = [b"A" * 100, b"B" * 50]
+        emitted = emitter.emit(0x10000, write, blobs, submit_arg=0xFF)
+        assert emitted.chain_va == 0x10000
+        assert emitted.total_size <= emitter.layout_size(blobs)
+        from repro.gpu.jobs import decode_mali_job
+        first = decode_mali_job(store[0x10000])
+        assert first.next_va != 0
+        second = decode_mali_job(store[first.next_va])
+        assert second.next_va == 0
+        assert store[first.shader_va] == blobs[0]
+
+    def test_v3d_control_list_layout(self):
+        emitter = V3dJobEmitter()
+        store = {}
+        emitter.emit(0x20000, lambda va, d: store.update({va: d}),
+                     [b"S" * 64], submit_arg=0)
+        from repro.gpu.jobs import walk_control_list
+
+        flat = {}
+        for va, data in store.items():
+            for i, byte in enumerate(data):
+                flat[va + i] = byte
+
+        entries = walk_control_list(
+            0x20000, lambda va, n: bytes(flat[va + i] for i in range(n)))
+        assert entries[0].shader_size == 64
+
+    def test_empty_job_rejected(self):
+        with pytest.raises(RuntimeApiError):
+            MaliJobEmitter().emit(0, lambda va, d: None, [], 0)
+        with pytest.raises(RuntimeApiError):
+            V3dJobEmitter().emit(0, lambda va, d: None, [], 0)
