@@ -8,8 +8,12 @@ suite records each workload once.
 
 from __future__ import annotations
 
+import json
+import math
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence
+from typing import Callable, Dict, List, Sequence
+
+from repro.obs.metrics import global_registry
 
 
 @dataclass
@@ -61,27 +65,108 @@ class ResultTable:
             lines.append(f"note: {note}")
         return "\n".join(lines)
 
+    # -- serialization (bench JSON output / CI artifacts) ------------------
+
+    def to_dict(self) -> Dict[str, object]:
+        def coerce(value: object) -> object:
+            # numpy scalars sneak into rows from result arrays; strip
+            # them so json.dumps and round-trip equality both work.
+            if hasattr(value, "item") and not isinstance(
+                    value, (str, bytes)):
+                return value.item()
+            return value
+
+        return {
+            "title": self.title,
+            "columns": list(self.columns),
+            "rows": [{c: coerce(v) for c, v in row.items()}
+                     for row in self.rows],
+            "notes": list(self.notes),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, object]) -> "ResultTable":
+        table = cls(title=payload["title"],
+                    columns=list(payload["columns"]),
+                    notes=list(payload.get("notes", [])))
+        for row in payload.get("rows", []):
+            table.add_row(**row)
+        return table
+
+    def to_json(self, **dump_kwargs: object) -> str:
+        return json.dumps(self.to_dict(), **dump_kwargs)
+
+    @classmethod
+    def from_json(cls, text: str) -> "ResultTable":
+        return cls.from_dict(json.loads(text))
+
+
+class RecordingCache:
+    """Keyed store of recorded workloads with hit/miss accounting.
+
+    Hits and misses are mirrored into the global metrics registry
+    (``bench.recording_cache.hits`` / ``.misses``) so bench JSON output
+    shows how much record work the cache saved.
+    """
+
+    def __init__(self):
+        self._entries: Dict[tuple, object] = {}
+        self._hits = 0
+        self._misses = 0
+
+    def get_or_produce(self, key: tuple,
+                       produce: Callable[[], object]) -> object:
+        value = self._entries.get(key)
+        if value is not None:
+            self._hits += 1
+            global_registry().counter("bench.recording_cache.hits").inc()
+            return value
+        self._misses += 1
+        global_registry().counter("bench.recording_cache.misses").inc()
+        value = produce()
+        self._entries[key] = value
+        return value
+
+    def clear(self) -> None:
+        self._entries.clear()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @property
+    def hits(self) -> int:
+        return self._hits
+
+    @property
+    def misses(self) -> int:
+        return self._misses
+
 
 #: (board, model, fuse, granularity) -> (RecordedWorkload, stack info)
-_RECORDING_CACHE: Dict[tuple, object] = {}
+RECORDING_CACHE = RecordingCache()
 
 
 def cached(key: tuple, produce: Callable[[], object]) -> object:
-    value = _RECORDING_CACHE.get(key)
-    if value is None:
-        value = produce()
-        _RECORDING_CACHE[key] = value
-    return value
+    return RECORDING_CACHE.get_or_produce(key, produce)
 
 
 def clear_recording_cache() -> None:
-    _RECORDING_CACHE.clear()
+    RECORDING_CACHE.clear()
 
 
 def geomean(values: Sequence[float]) -> float:
+    """Geometric mean, accumulated in log space.
+
+    A naive running product overflows to ``inf`` (or underflows to
+    0.0) long before the mean itself is out of float range; summing
+    logs keeps every intermediate bounded. Any non-positive value
+    makes the geometric mean ill-defined, so it yields 0.0.
+    """
     if not values:
         return 0.0
-    product = 1.0
-    for v in values:
-        product *= v
-    return product ** (1.0 / len(values))
+    if any(v <= 0 for v in values):
+        return 0.0
+    if len(values) == 1:
+        return float(values[0])
+    return math.exp(math.fsum(math.log(v) for v in values)
+                    / len(values))

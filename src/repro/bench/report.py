@@ -4,6 +4,11 @@ Usage::
 
     python -m repro.bench.report            # everything
     python -m repro.bench.report fig07 tab06  # a subset
+    python -m repro.bench.report --json BENCH_all.json fig07
+
+``--json`` additionally writes every selected table plus the global
+metrics snapshot (recording-cache hits/misses etc.) as one JSON
+document -- the machine-readable artifact CI archives.
 
 Prints every table/figure with its paper-expectation note. This is the
 source of the numbers recorded in EXPERIMENTS.md.
@@ -11,10 +16,12 @@ source of the numbers recorded in EXPERIMENTS.md.
 
 from __future__ import annotations
 
-import sys
-from typing import Callable, Dict, List
+import argparse
+import json
+from typing import Callable, Dict, List, Optional
 
 from repro.bench import experiments as exp
+from repro.obs.metrics import global_registry
 
 EXPERIMENTS: Dict[str, Callable[[], object]] = {
     "fig03": exp.sync_submission_overhead,
@@ -38,8 +45,10 @@ EXPERIMENTS: Dict[str, Callable[[], object]] = {
 }
 
 
-def run(names: List[str]) -> None:
+def run(names: List[str],
+        json_path: Optional[str] = None) -> Dict[str, object]:
     selected = names or list(EXPERIMENTS)
+    tables: Dict[str, object] = {}
     for name in selected:
         prefix_matches = [key for key in EXPERIMENTS
                           if key == name or key.startswith(name)]
@@ -49,12 +58,31 @@ def run(names: List[str]) -> None:
             continue
         for key in prefix_matches:
             table = EXPERIMENTS[key]()
+            tables[key] = table
             print(f"\n[{key}]")
             print(table.render())
+    if json_path is not None:
+        payload = {
+            "tables": {key: table.to_dict()
+                       for key, table in tables.items()},
+            "metrics": global_registry().snapshot(),
+        }
+        with open(json_path, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=1, sort_keys=True)
+        print(f"\nwrote {json_path}")
+    return tables
 
 
 def main() -> None:
-    run(sys.argv[1:])
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench.report",
+        description="regenerate the paper's evaluation")
+    parser.add_argument("names", nargs="*",
+                        help="experiment names/prefixes (default: all)")
+    parser.add_argument("--json", metavar="PATH", default=None,
+                        help="also write tables + metrics as JSON")
+    args = parser.parse_args()
+    run(args.names, json_path=args.json)
 
 
 if __name__ == "__main__":

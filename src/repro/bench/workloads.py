@@ -66,10 +66,18 @@ def board_for_family(family: str) -> str:
 
 
 def build_stack(family: str, model_name: str, fuse: bool = False,
-                seed: int = 3, board: Optional[str] = None) -> StackHandle:
-    """Bring up the full GPU stack for one model on a fresh machine."""
+                seed: int = 3, board: Optional[str] = None,
+                obs: bool = False) -> StackHandle:
+    """Bring up the full GPU stack for one model on a fresh machine.
+
+    ``obs=True`` enables observability *before* driver construction so
+    the driver's chokepoint stream feeds the obs session too.
+    """
     board = board or board_for_family(family)
     machine = Machine.create(board, seed=seed)
+    if obs:
+        from repro.obs import enable_observability
+        enable_observability(machine)
     model = build_model(model_name)
     if family == "mali":
         driver = MaliDriver(machine)

@@ -15,6 +15,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
 from repro.core.nano_driver import NanoGpuDriver
+from repro.obs.metrics import SIZE_BUCKETS_BYTES
 
 
 @dataclass
@@ -75,6 +76,15 @@ class CheckpointManager:
         )
         self.total_checkpoint_ns += self.nano.clock.now() - t0
         self.taken_count += 1
+        obs = self.nano.machine.obs
+        obs.counter("replay.checkpoints").inc()
+        obs.histogram("replay.checkpoint_bytes",
+                      SIZE_BUCKETS_BYTES).observe(
+                          checkpoint.bytes_captured)
+        obs.complete("checkpoint", obs.track("replay", "session"),
+                     t0, self.nano.clock.now(), cat="replay",
+                     args={"bytes": checkpoint.bytes_captured,
+                           "action_index": action_index})
         self.checkpoints.append(checkpoint)
         if len(self.checkpoints) > self.policy.keep_last:
             self.checkpoints.pop(0)

@@ -22,6 +22,7 @@ from repro.core.nano_driver import NanoGpuDriver
 from repro.core.recording import Recording
 from repro.errors import (ReplayAborted, ReplayDivergence, ReplayError,
                           ReplayTimeout)
+from repro.obs.metrics import LATENCY_BUCKETS_NS
 
 #: Interpreter dispatch overhead per action.
 ACTION_OVERHEAD_NS = 300
@@ -70,6 +71,11 @@ class ReplayInterpreter:
         self.should_yield = should_yield
         self.checkpoints = checkpoints
         self.stats = InterpreterStats()
+        obs = nano.machine.obs
+        self._obs = obs
+        self._actions_track = obs.track("replay", "actions")
+        self._jobs_track = obs.track("replay", "jobs")
+        self._job_span = None
 
     def execute(self,
                 deposit_inputs: Optional[Callable[[], None]] = None,
@@ -101,19 +107,36 @@ class ReplayInterpreter:
                 interval += self.options.extra_delay_ns
             target = last_end + interval
             if target > clock.now():
-                self.stats.pacing_wait_ns += target - clock.now()
-                clock.advance(target - clock.now())
+                wait = target - clock.now()
+                self.stats.pacing_wait_ns += wait
+                self._obs.counter("replay.pacing_wait_ns").inc(wait)
+                clock.advance(wait)
+            t_start = clock.now()
             clock.advance(ACTION_OVERHEAD_NS)
 
             self._execute_one(action, index)
             self.stats.actions_executed += 1
+            self._obs.counter("replay.actions").inc()
+            self._obs.complete(
+                type(action).__name__, self._actions_track, t_start,
+                clock.now(), cat="replay-action",
+                args={"index": index, "src": action.src})
             if isinstance(action, act.RegWrite) and action.is_job_kick:
                 if self.stats.first_kick_at_ns < 0:
                     self.stats.first_kick_at_ns = clock.now()
                 self.stats.jobs_kicked += 1
                 job_in_flight = True
+                if self._job_span is not None:
+                    self._obs.end(self._job_span)
+                self._job_span = self._obs.begin(
+                    f"job[{self.stats.jobs_kicked - 1}]",
+                    self._jobs_track, cat="replay-job",
+                    args={"index": index})
             if isinstance(action, act.IrqExit):
                 job_in_flight = False
+                if self._job_span is not None:
+                    self._obs.end(self._job_span)
+                    self._job_span = None
                 if self.checkpoints is not None and not job_in_flight:
                     self.checkpoints.maybe_take(index + 1,
                                                 self.stats.jobs_kicked)
@@ -133,15 +156,19 @@ class ReplayInterpreter:
 
     def _execute_one(self, action: act.Action, index: int) -> None:
         nano = self.nano
+        obs = self._obs
         if isinstance(action, act.RegWrite):
+            obs.counter("replay.reg_writes").inc()
             nano.reg_write(action.reg, action.val, action.mask)
         elif isinstance(action, act.RegReadOnce):
+            obs.counter("replay.reg_reads").inc()
             value = nano.reg_read(action.reg)
             if not action.ignore and value != action.val:
                 raise ReplayDivergence(
                     f"register {action.reg} read {value:#x}, recorded "
                     f"{action.val:#x}", index, action.src)
         elif isinstance(action, act.RegReadWait):
+            obs.counter("replay.reg_polls").inc()
             ok = nano.reg_poll(action.reg, action.mask, action.val,
                                action.timeout_ns)
             if not ok:
@@ -159,16 +186,29 @@ class ReplayInterpreter:
             dump = self.recording.dumps[action.dump_index]
             nano.upload(action.addr, dump.data)
             self.stats.upload_bytes += dump.size
+            obs.counter("replay.uploads").inc()
+            obs.counter("replay.upload_bytes").inc(dump.size)
         elif isinstance(action, act.WaitIrq):
             self.stats.irqs_waited += 1
-            if not nano.wait_irq(action.timeout_ns):
+            obs.counter("replay.irq_waits").inc()
+            t0 = nano.clock.now()
+            ok = nano.wait_irq(action.timeout_ns)
+            obs.histogram("replay.irq_wait_ns",
+                          LATENCY_BUCKETS_NS).observe(nano.clock.now() - t0)
+            if not ok:
                 raise ReplayTimeout(
                     "no GPU interrupt arrived in time", index, action.src)
         elif isinstance(action, act.IrqEnter):
             if nano.pending_irqs == 0:
                 # The record-time interrupt preempted the CPU; replay
                 # synchronizes on its arrival here instead.
-                if not nano.wait_irq(IMPLICIT_IRQ_TIMEOUT_NS):
+                obs.counter("replay.irq_waits").inc()
+                t0 = nano.clock.now()
+                ok = nano.wait_irq(IMPLICIT_IRQ_TIMEOUT_NS)
+                obs.histogram(
+                    "replay.irq_wait_ns",
+                    LATENCY_BUCKETS_NS).observe(nano.clock.now() - t0)
+                if not ok:
                     raise ReplayTimeout(
                         "no GPU interrupt for asynchronous irq context",
                         index, action.src)

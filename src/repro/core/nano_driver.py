@@ -113,6 +113,7 @@ class NanoGpuDriver:
         """The bare-minimum handler: note arrival, nothing else."""
         del line
         self._irq_count += 1
+        self.machine.obs.counter("nano.irqs").inc()
         self.machine.irq.ack(self.irq_number)
 
     def wait_irq(self, timeout_ns: int) -> bool:
@@ -149,14 +150,21 @@ class NanoGpuDriver:
         Also scrubs any previous session's GPU memory -- a fresh init
         is the clean-handoff point between apps (Section 5.3: no data
         leaks across replayer sessions)."""
-        self.connect_irq()
-        self.clear_irq_state()
-        self._family_reset()
-        self.release_memory()
+        obs = self.machine.obs
+        with obs.span("nano:init-gpu", obs.track("replay", "nano"),
+                      cat="nano", args={"family": self.family}):
+            self.connect_irq()
+            self.clear_irq_state()
+            self._family_reset()
+            self.release_memory()
 
     def soft_reset(self) -> None:
         """Reset without touching replayer memory state (recovery path)."""
-        self._family_reset()
+        obs = self.machine.obs
+        obs.counter("nano.resets").inc()
+        with obs.span("nano:reset", obs.track("replay", "nano"),
+                      cat="nano"):
+            self._family_reset()
         self.clear_irq_state()
 
     def _family_reset(self) -> None:

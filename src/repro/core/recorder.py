@@ -28,6 +28,7 @@ from repro.core.dumps import MemoryDump, coalesce_pages
 from repro.core.recording import Recording, RecordingMeta
 from repro.errors import RecordingError
 from repro.gpu import jobs as jobfmt
+from repro.obs.metrics import SIZE_BUCKETS_BYTES
 from repro.soc import firmware as fw
 from repro.soc.memory import PAGE_SIZE
 from repro.stack.driver import trace
@@ -142,6 +143,11 @@ class GpuRecorder(trace.DriverTracer):
                 region.va, region.num_pages, region.flags)
         self.first_kick_snapshot: List[Tuple[int, bytes]] = []
         self._page_hashes: Dict[int, int] = {}
+        obs = self.machine.obs
+        self._obs_track = obs.track("recorder", self.family)
+        self._session_span = obs.begin(f"record:{workload}",
+                                       self._obs_track, cat="record")
+        self._rec_span = None
         self._on_begin()
         self._start_recording()
         self.driver.attach_tracer(self)
@@ -151,6 +157,7 @@ class GpuRecorder(trace.DriverTracer):
             raise RecordingError("recorder not active")
         self.driver.detach_tracer(self)
         self._finalize_recording()
+        self.machine.obs.end(self._session_span)
         self.driver.queue.set_depth(self._saved_depth)
         self._active = False
         return self._recordings
@@ -179,6 +186,9 @@ class GpuRecorder(trace.DriverTracer):
 
     def _start_recording(self) -> None:
         self._reset_stream_state()
+        self._rec_span = self.machine.obs.begin(
+            f"recording[{len(self._recordings)}]", self._obs_track,
+            cat="record")
         self._last_busy = self.driver.gpu_busy_hint()
         # Prologue: reconstruct the GPU address space at replay time.
         self._append(act.SetGpuPgtable(memattr=self._capture_memattr(),
@@ -214,6 +224,12 @@ class GpuRecorder(trace.DriverTracer):
             ],
         )
         self._recordings.append(Recording(meta, self._actions, self._dumps))
+        obs = self.machine.obs
+        obs.end(self._rec_span)
+        self._rec_span = None
+        obs.counter("record.recordings").inc()
+        obs.counter("record.actions").inc(len(self._actions))
+        obs.counter("record.jobs").inc(self._job_counter)
 
     @property
     def recordings(self) -> List[Recording]:
@@ -240,6 +256,10 @@ class GpuRecorder(trace.DriverTracer):
             action.min_interval_ns = 0 if skippable else dt
             self.interval_samples.append(
                 IntervalSample(self._job_counter, dt, skippable))
+            obs = self.machine.obs
+            obs.counter("record.intervals").inc()
+            if skippable:
+                obs.counter("record.intervals_skippable").inc()
         action.job_index = self._job_counter
         self._actions.append(action)
         self._last_t = now
@@ -316,6 +336,8 @@ class GpuRecorder(trace.DriverTracer):
         return out
 
     def _capture_dumps(self, chain_va: int) -> None:
+        obs = self.machine.obs
+        t0 = self.machine.clock.now()
         if not self.first_kick_snapshot:
             # Taken before any GPU job has run: the only copy of the
             # app's input in GPU memory is the one the runtime wrote,
@@ -340,6 +362,7 @@ class GpuRecorder(trace.DriverTracer):
                 continue
             pages.extend(all_pages if self._whole_region_dumps()
                          else changed)
+        obs.counter("record.dump_bytes_scanned").inc(scanned_bytes)
         if not pages:
             return
         # Record-time overhead of copying the pages out (an unintended
@@ -347,11 +370,21 @@ class GpuRecorder(trace.DriverTracer):
         self.machine.clock.advance(
             max(1, (scanned_bytes + sum(len(d) for _va, d in pages))
                 * SEC // DUMP_BW))
+        dump_bytes = 0
         for dump in coalesce_pages(pages):
             index = len(self._dumps)
             self._dumps.append(dump)
+            dump_bytes += dump.size
             self._append(act.Upload(addr=dump.va, dump_index=index,
                                     src="recorder:dump"))
+        obs.counter("record.dump_bytes").inc(dump_bytes)
+        obs.histogram("record.dump_capture_bytes",
+                      SIZE_BUCKETS_BYTES).observe(dump_bytes)
+        obs.complete(f"dump@{chain_va:#x}", self._obs_track, t0,
+                     self.machine.clock.now(),
+                     cat="record",
+                     args={"scanned_bytes": scanned_bytes,
+                           "dump_bytes": dump_bytes})
 
 
 class MaliRecorder(GpuRecorder):

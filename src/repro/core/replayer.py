@@ -89,9 +89,13 @@ class Replayer:
     def init(self) -> None:
         """Acquire the GPU with a reset (API #1 of Section 5)."""
         t0 = self.machine.clock.now()
-        self.nano.init_gpu()
+        obs = self.machine.obs
+        with obs.span("replayer:init", obs.track("replay", "session"),
+                      cat="replay"):
+            self.nano.init_gpu()
         self._session_maps.clear()
         self.init_ns = self.machine.clock.now() - t0
+        obs.gauge("replay.init_ns").set(self.init_ns)
         self._initialized = True
 
     def cleanup(self) -> None:
@@ -109,17 +113,23 @@ class Replayer:
         """Verify a recording and stage it for replay (API #2)."""
         self._require_init()
         t0 = self.machine.clock.now()
-        report = verify_recording(
-            recording, self.nano.register_names(),
-            max_gpu_bytes=self.max_gpu_bytes,
-            preexisting_maps=dict(self._session_maps))
-        # Decompression + verification cost.
-        self.machine.clock.advance(
-            max(1, recording.dump_bytes() * SEC // DECOMPRESS_BW)
-            + VERIFY_ACTION_NS * len(recording.actions))
+        obs = self.machine.obs
+        with obs.span("replayer:load", obs.track("replay", "session"),
+                      cat="replay",
+                      args={"workload": recording.meta.workload,
+                            "actions": len(recording.actions)}):
+            report = verify_recording(
+                recording, self.nano.register_names(),
+                max_gpu_bytes=self.max_gpu_bytes,
+                preexisting_maps=dict(self._session_maps))
+            # Decompression + verification cost.
+            self.machine.clock.advance(
+                max(1, recording.dump_bytes() * SEC // DECOMPRESS_BW)
+                + VERIFY_ACTION_NS * len(recording.actions))
         self.current = recording
         self.verification = report
         self.load_ns = self.machine.clock.now() - t0
+        obs.gauge("replay.load_ns").set(self.load_ns)
         return report
 
     def load_bytes(self, blob: bytes) -> VerificationReport:
@@ -140,12 +150,20 @@ class Replayer:
         self._last_inputs = inputs
 
         t_start = self.machine.clock.now()
+        obs = self.machine.obs
+        obs_track = obs.track("replay", "session")
+        replay_span = obs.begin(
+            f"replayer:replay:{recording.meta.workload}", obs_track,
+            cat="replay")
         attempts = 0
         extra_delay = 0
         delay_range: Optional[Tuple[int, int]] = None
         last_error: Optional[ReplayError] = None
         while attempts < max_attempts:
             attempts += 1
+            obs.counter("replay.attempts").inc()
+            if attempts > 1:
+                obs.counter("replay.retries").inc()
             options = InterpreterOptions(
                 use_recorded_intervals=use_recorded_intervals,
                 extra_delay_ns=extra_delay,
@@ -163,6 +181,7 @@ class Replayer:
                 outputs = self._extract(recording)
                 startup = (stats.first_kick_at_ns - t_start
                            if stats.first_kick_at_ns >= 0 else 0)
+                obs.end(replay_span, args={"attempts": attempts})
                 return ReplayResult(
                     outputs=outputs,
                     duration_ns=self.machine.clock.now() - t_start,
@@ -170,9 +189,15 @@ class Replayer:
                     stats=stats,
                     startup_ns=startup)
             except ReplayAborted:
+                obs.end(replay_span, args={"aborted": True})
                 raise
             except ReplayError as error:
                 last_error = error
+                obs.instant(
+                    "replay-divergence", obs_track,
+                    args={"attempt": attempts,
+                          "index": getattr(error, "action_index", -1),
+                          "src": getattr(error, "source", "")})
                 if attempts >= max_attempts:
                     break
                 # Recovery: back off (transient faults need time to
@@ -191,6 +216,7 @@ class Replayer:
                     fail_at = max(error.action_index, 0)
                     delay_range = (max(0, fail_at - RETRY_DELAY_WINDOW),
                                    fail_at + 1)
+        obs.end(replay_span, args={"failed": True, "attempts": attempts})
         raise ReplayError(
             f"replay failed after {attempts} attempts: {last_error}",
             getattr(last_error, "action_index", -1),

@@ -78,7 +78,10 @@ class BaremetalEnvironment(DeploymentEnvironment):
             sum(r.size for r in self.embedded.values())
 
     def _prepare(self) -> None:
-        self.machine.clock.advance(BOOT_NS)
+        obs = self.machine.obs
+        with obs.span("baremetal:boot", obs.track("env", self.name),
+                      cat="env"):
+            self.machine.clock.advance(BOOT_NS)
         self._booted = True
         # Without a kernel, nobody has configured GPU power: apply the
         # firmware sequence extracted at record time, if any recording
@@ -86,6 +89,7 @@ class BaremetalEnvironment(DeploymentEnvironment):
         # nano driver performs at init.
         sequence = self._extracted_power_sequence()
         for tag, device_id, value in sequence:
+            obs.counter("env.firmware_calls").inc()
             self.machine.firmware.request(tag, device_id, value)
 
     def _extracted_power_sequence(self) -> List:

@@ -65,10 +65,14 @@ class DeploymentEnvironment:
         if self._ready:
             raise EnvironmentError_(f"{self.name}: already set up")
         t0 = self.machine.clock.now()
-        self._prepare()
-        self.replayer = self._build_replayer()
-        self.replayer.init()
+        obs = self.machine.obs
+        with obs.span(f"env:{self.name}:setup",
+                      obs.track("env", self.name), cat="env"):
+            self._prepare()
+            self.replayer = self._build_replayer()
+            self.replayer.init()
         self.setup_ns = self.machine.clock.now() - t0
+        obs.gauge("env.setup_ns").set(self.setup_ns)
         self._ready = True
         return self.replayer
 

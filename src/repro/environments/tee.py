@@ -44,10 +44,16 @@ class SecureMonitor:
             raise EnvironmentError_(f"unknown world {world!r}")
         if world == self.gpu_owner:
             return
+        t0 = self.machine.clock.now()
         # Re-map GPU registers and memory into the target world.
         self.machine.clock.advance(WORLD_SWITCH_NS)
         self.gpu_owner = world
         self.switch_count += 1
+        obs = self.machine.obs
+        obs.counter("env.world_switches").inc()
+        obs.complete(f"world-switch:{world}",
+                     obs.track("env:tee", "monitor"), t0,
+                     self.machine.clock.now(), cat="env")
 
     def require_owner(self, world: str) -> None:
         if self.gpu_owner != world:

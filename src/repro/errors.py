@@ -152,3 +152,7 @@ class ReplayAborted(ReplayError):
 
 class EnvironmentError_(ReproError):
     """A deployment environment could not host the replayer."""
+
+
+class ObsError(ReproError):
+    """Misuse of the observability layer (metrics/tracing)."""

@@ -174,7 +174,10 @@ class AdrenoGpu(GpuDevice):
 
     def _on_reset(self, _old: int, _value: int) -> None:
         self._cancel_pending()
+        self.note_job_retired(self._hw_active)
         self._hw_active = None
+        for queued in self._hw_pending:
+            self.note_job_retired(queued)
         self._hw_pending.clear()
         self.regs.poke("RBBM_INT_0_STATUS", 0)
         self.regs.poke("RBBM_RESET_STATUS", 0)
@@ -286,12 +289,14 @@ class AdrenoGpu(GpuDevice):
                                       self.machine.interference)
             for p in job.programs)
         self._hw_active = job
+        self.note_job_executing(job)
         job.completion = self._schedule(
             self._jitter(duration), lambda: self._retire(job),
             "adreno-pkt")
 
     def _retire(self, job: RunningJob) -> None:
         self._hw_active = None
+        self.note_job_retired(job)
         try:
             for program in job.programs:
                 execute_program(program, self.mmu)
@@ -316,6 +321,7 @@ class AdrenoGpu(GpuDevice):
             job.completion.cancel()
             self._hw_active = None
             self._hw_pending.clear()
+            self.note_job_retired(job)
             self._exit_busy()
             self._assert_int(INT_RBBM_ERROR)
 

@@ -29,6 +29,8 @@ class RunningJob:
     programs: List[object]
     completion: Optional[EventHandle]
     active_cores: int
+    #: Open timeline span while the job executes (obs plumbing).
+    obs_span: Optional[object] = None
 
 
 class GpuDevice:
@@ -62,6 +64,7 @@ class GpuDevice:
 
         # Fault injection (hardware-level events; see repro.gpu.faults).
         self.offline_core_mask = 0
+        self._busy_span = None
 
         self._pending_ops: List[EventHandle] = []
         self._irq_level = False
@@ -101,6 +104,14 @@ class GpuDevice:
 
     def _record_busy_transition(self, busy: bool) -> None:
         self.busy_transitions.append((self.machine.clock.now(), busy))
+        obs = self.machine.obs
+        if busy:
+            self._busy_span = obs.begin(
+                "busy", obs.track(f"gpu:{self.model_name}", "busy"),
+                cat="gpu")
+        elif self._busy_span is not None:
+            obs.end(self._busy_span)
+            self._busy_span = None
         for observer in self.busy_observers:
             observer(busy)
 
@@ -122,6 +133,25 @@ class GpuDevice:
     def trim_busy_history(self) -> None:
         """Drop history older than the current instant (memory bound)."""
         self.busy_transitions = [(self.machine.clock.now(), self.busy)]
+
+    # -- job execution timeline (obs plumbing) ----------------------------------
+
+    def note_job_executing(self, job: RunningJob) -> None:
+        """Open a timeline span on the job's slot track; family device
+        models call this when the hardware actually starts crunching
+        (not at enqueue -- queued jobs have no span yet)."""
+        obs = self.machine.obs
+        job.obs_span = obs.begin(
+            f"job@{job.chain_va:#x}",
+            obs.track(f"gpu:{self.model_name}", f"slot{job.slot}"),
+            cat="gpu-job",
+            args={"cores": job.active_cores})
+
+    def note_job_retired(self, job: Optional[RunningJob]) -> None:
+        """Close the slot span (completion, fault, or hard stop)."""
+        if job is not None and job.obs_span is not None:
+            self.machine.obs.end(job.obs_span)
+            job.obs_span = None
 
     # -- scheduling helpers -----------------------------------------------------
 

@@ -255,6 +255,7 @@ class MaliGpu(GpuDevice):
         self._hw_active = None
         self._hw_pending.clear()
         for slot in range(NUM_JOB_SLOTS):
+            self.note_job_retired(self._jobs[slot])
             self._jobs[slot] = None
             self.regs.poke(f"JS{slot}_STATUS", JS_STATUS_IDLE)
             self.regs.poke(f"JS{slot}_HEAD_LO", 0)
@@ -400,6 +401,7 @@ class MaliGpu(GpuDevice):
             for p in job.programs)
         duration = self._jitter(duration)
         self._hw_active = job
+        self.note_job_executing(job)
         job.completion = self._schedule(
             duration, lambda: self._complete_job(job.slot),
             f"mali-job-s{job.slot}")
@@ -415,6 +417,7 @@ class MaliGpu(GpuDevice):
         self._start_next_queued()
         if job is None:
             return
+        self.note_job_retired(job)
         try:
             for program in job.programs:
                 execute_program(program, self.mmu)
@@ -441,6 +444,7 @@ class MaliGpu(GpuDevice):
             self._start_next_queued()
         elif job in self._hw_pending:
             self._hw_pending.remove(job)
+        self.note_job_retired(job)
         self._jobs[slot] = None
         self._exit_busy()
         self.regs.poke(f"JS{slot}_STATUS", JS_STATUS_IDLE)
@@ -462,6 +466,7 @@ class MaliGpu(GpuDevice):
                     self._start_next_queued()
                 elif job in self._hw_pending:
                     self._hw_pending.remove(job)
+                self.note_job_retired(job)
                 self._jobs[slot] = None
                 self._exit_busy()
                 self._fail_job(slot, job.chain_va)

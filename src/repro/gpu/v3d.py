@@ -150,6 +150,7 @@ class V3dGpu(GpuDevice):
 
     def _on_reset(self, _old: int, _value: int) -> None:
         self._cancel_pending()
+        self.note_job_retired(self._job)
         self._job = None
         self.regs.poke("CTL_INT_STS", 0)
         self.regs.poke("CTL_STATUS", 0)
@@ -239,6 +240,7 @@ class V3dGpu(GpuDevice):
         handle = self._schedule(duration, self._complete_job, "v3d-job")
         self._job = RunningJob(0, base_va, programs, handle,
                                self.core_count)
+        self.note_job_executing(self._job)
         del end_va
 
     def _complete_job(self) -> None:
@@ -246,6 +248,7 @@ class V3dGpu(GpuDevice):
         self._job = None
         if job is None:
             return
+        self.note_job_retired(job)
         try:
             for program in job.programs:
                 execute_program(program, self.mmu)
@@ -267,6 +270,7 @@ class V3dGpu(GpuDevice):
         if job is not None:
             job.completion.cancel()
             self._job = None
+            self.note_job_retired(job)
             self._exit_busy()
             self.regs.poke("CTL_STATUS", STATUS_IDLE)
             self._assert_int(INT_CTERR)

@@ -1,0 +1,46 @@
+"""``repro.obs`` -- unified observability for the whole reproduction.
+
+The paper's evaluation is built on *seeing* the CPU/GPU boundary:
+register I/O counts, polling iterations, dump bytes, IRQ wait
+latencies, replay retries (Section 7, Figures 3-11). This package is
+the one place all of that telemetry flows through:
+
+- :mod:`repro.obs.tracer` -- a span tracer keyed to the virtual clock,
+  exporting Chrome trace-event JSON (``chrome://tracing`` / Perfetto);
+- :mod:`repro.obs.metrics` -- counters, gauges and fixed-boundary
+  histograms with a JSON-serializable snapshot;
+- :mod:`repro.obs.session` -- the :class:`Observability` object that a
+  :class:`~repro.soc.machine.Machine` carries (a no-op null object by
+  default, so the instrumented code paths cost nothing when disabled);
+- :mod:`repro.obs.chrome_trace` -- a validator for the exported
+  timeline (used by tests, ``grr trace`` and the CI smoke job).
+
+Determinism contract: observability only ever *reads* the virtual
+clock. Enabling it must change recorded/replayed virtual-time results
+by exactly zero.
+"""
+
+from repro.obs.chrome_trace import validate_chrome_trace
+from repro.obs.metrics import (LATENCY_BUCKETS_NS, SIZE_BUCKETS_BYTES,
+                               Counter, Gauge, Histogram, MetricsRegistry,
+                               global_registry)
+from repro.obs.session import (NULL_OBS, NullObservability, Observability,
+                               enable_observability)
+from repro.obs.tracer import SpanTracer, Track
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "LATENCY_BUCKETS_NS",
+    "MetricsRegistry",
+    "NULL_OBS",
+    "NullObservability",
+    "Observability",
+    "SIZE_BUCKETS_BYTES",
+    "SpanTracer",
+    "Track",
+    "enable_observability",
+    "global_registry",
+    "validate_chrome_trace",
+]

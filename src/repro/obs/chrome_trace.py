@@ -1,0 +1,115 @@
+"""Validation for exported Chrome trace-event JSON.
+
+Checks the structural subset of the trace-event format that our
+exporter produces and that Perfetto requires to load a file:
+
+- a top-level object with a ``traceEvents`` list;
+- every event has a phase, pid, tid, and (except metadata) a numeric
+  timestamp;
+- ``B``/``E`` events balance per (pid, tid) with non-decreasing
+  timestamps -- stack discipline, i.e. spans nest;
+- ``X`` events on one (pid, tid) are either disjoint or properly
+  contained in each other (no partial overlap).
+
+Used by the ``grr trace`` exporter, the obs integration tests, and the
+CI smoke job.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+_KNOWN_PHASES = {"B", "E", "X", "i", "I", "M", "C"}
+
+
+def _ns(ts_us: float) -> int:
+    """Quantize a trace-event microsecond stamp to integer ns.
+
+    The exporter's timestamps are integer nanoseconds divided by 1e3;
+    comparing the floats directly makes touching intervals look
+    overlapping (ts + dur accumulates rounding error), so all ordering
+    checks run on the recovered integers.
+    """
+    return round(ts_us * 1000)
+
+
+def validate_chrome_trace(obj: object) -> List[str]:
+    """Return a list of problems (empty == valid)."""
+    errors: List[str] = []
+    if not isinstance(obj, dict):
+        return ["top level is not a JSON object"]
+    events = obj.get("traceEvents")
+    if not isinstance(events, list):
+        return ["missing traceEvents list"]
+
+    span_stacks: Dict[Tuple[int, int], List[dict]] = {}
+    complete: Dict[Tuple[int, int], List[Tuple[int, int, str]]] = {}
+
+    for index, event in enumerate(events):
+        where = f"event #{index}"
+        if not isinstance(event, dict):
+            errors.append(f"{where}: not an object")
+            continue
+        phase = event.get("ph")
+        if phase not in _KNOWN_PHASES:
+            errors.append(f"{where}: unknown phase {phase!r}")
+            continue
+        pid, tid = event.get("pid"), event.get("tid")
+        if not isinstance(pid, int) or not isinstance(tid, int):
+            errors.append(f"{where}: missing integer pid/tid")
+            continue
+        if phase != "M" and not isinstance(event.get("ts"), (int, float)):
+            errors.append(f"{where}: missing numeric ts")
+            continue
+        if phase != "E" and not isinstance(event.get("name"), str):
+            errors.append(f"{where}: missing name")
+            continue
+        key = (pid, tid)
+        if phase == "B":
+            span_stacks.setdefault(key, []).append(event)
+        elif phase == "E":
+            stack = span_stacks.get(key)
+            if not stack:
+                errors.append(f"{where}: E with no open B on tid {tid}")
+                continue
+            begin = stack.pop()
+            if _ns(event["ts"]) < _ns(begin["ts"]):
+                errors.append(
+                    f"{where}: span {begin.get('name')!r} ends at "
+                    f"{event['ts']} before it begins at {begin['ts']}")
+        elif phase == "X":
+            dur = event.get("dur")
+            if not isinstance(dur, (int, float)) or dur < 0:
+                errors.append(f"{where}: X without non-negative dur")
+                continue
+            complete.setdefault(key, []).append(
+                (_ns(event["ts"]), _ns(event["ts"]) + _ns(dur),
+                 event.get("name", "")))
+
+    for (pid, tid), stack in span_stacks.items():
+        for begin in stack:
+            errors.append(
+                f"unclosed span {begin.get('name')!r} on "
+                f"pid {pid} tid {tid}")
+
+    for (pid, tid), intervals in complete.items():
+        errors.extend(_check_interval_nesting(pid, tid, intervals))
+    return errors
+
+
+def _check_interval_nesting(
+        pid: int, tid: int,
+        intervals: List[Tuple[int, int, str]]) -> List[str]:
+    """X events per tid must be disjoint or properly nested."""
+    errors: List[str] = []
+    open_ends: List[Tuple[float, str]] = []
+    ordered = sorted(intervals, key=lambda iv: (iv[0], -iv[1]))
+    for start, end, name in ordered:
+        while open_ends and open_ends[-1][0] <= start:
+            open_ends.pop()
+        if open_ends and end > open_ends[-1][0]:
+            errors.append(
+                f"X event {name!r} on pid {pid} tid {tid} partially "
+                f"overlaps {open_ends[-1][1]!r}")
+        open_ends.append((end, name))
+    return errors

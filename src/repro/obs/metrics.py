@@ -1,0 +1,168 @@
+"""The metrics registry: counters, gauges and fixed-bucket histograms.
+
+Metric names form a stable interface (documented in DESIGN.md and
+README.md): experiments and the ``BENCH_*.json`` trajectory key on
+them, so renaming one is an API change. Histograms use *fixed* bucket
+boundaries chosen at creation, so snapshots from different runs are
+directly comparable -- no adaptive binning.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence, Tuple
+
+from repro.errors import ObsError
+from repro.units import KIB, MIB, MS, SEC, US
+
+#: Default boundaries for duration histograms (virtual nanoseconds).
+LATENCY_BUCKETS_NS: Tuple[int, ...] = (
+    1 * US, 10 * US, 100 * US, 1 * MS, 10 * MS, 100 * MS, 1 * SEC,
+    10 * SEC)
+
+#: Default boundaries for size histograms (bytes).
+SIZE_BUCKETS_BYTES: Tuple[int, ...] = (
+    4 * KIB, 64 * KIB, 1 * MIB, 16 * MIB, 64 * MIB, 256 * MIB)
+
+
+class Counter:
+    """A monotonically increasing integer-or-float count."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0
+
+    def inc(self, amount: float = 1) -> None:
+        if amount < 0:
+            raise ObsError(f"counter {self.name}: negative increment")
+        self.value += amount
+
+
+class Gauge:
+    """A value that can move both ways (last write wins)."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0
+
+    def set(self, value: float) -> None:
+        self.value = value
+
+    def add(self, delta: float) -> None:
+        self.value += delta
+
+
+class Histogram:
+    """A fixed-boundary histogram (cumulative-style buckets).
+
+    ``boundaries`` are the inclusive upper edges of the first
+    ``len(boundaries)`` buckets; one implicit overflow bucket catches
+    everything above the last edge.
+    """
+
+    __slots__ = ("name", "boundaries", "bucket_counts", "count", "sum")
+
+    def __init__(self, name: str,
+                 boundaries: Sequence[float] = LATENCY_BUCKETS_NS):
+        if not boundaries or list(boundaries) != sorted(boundaries):
+            raise ObsError(
+                f"histogram {name}: boundaries must be sorted, non-empty")
+        self.name = name
+        self.boundaries = tuple(boundaries)
+        self.bucket_counts = [0] * (len(self.boundaries) + 1)
+        self.count = 0
+        self.sum = 0
+
+    def observe(self, value: float) -> None:
+        index = len(self.boundaries)
+        for i, edge in enumerate(self.boundaries):
+            if value <= edge:
+                index = i
+                break
+        self.bucket_counts[index] += 1
+        self.count += 1
+        self.sum += value
+
+    def mean(self) -> float:
+        return self.sum / self.count if self.count else 0.0
+
+
+class MetricsRegistry:
+    """Name -> metric map with get-or-create accessors.
+
+    A name is bound to one metric kind forever; asking for the same
+    name as a different kind is a programming error and raises.
+    """
+
+    def __init__(self) -> None:
+        self._metrics: Dict[str, object] = {}
+
+    def _get_or_create(self, name: str, cls, *args):
+        metric = self._metrics.get(name)
+        if metric is None:
+            metric = cls(name, *args)
+            self._metrics[name] = metric
+        elif not isinstance(metric, cls):
+            raise ObsError(
+                f"metric {name!r} is a {type(metric).__name__}, "
+                f"not a {cls.__name__}")
+        return metric
+
+    def counter(self, name: str) -> Counter:
+        return self._get_or_create(name, Counter)
+
+    def gauge(self, name: str) -> Gauge:
+        return self._get_or_create(name, Gauge)
+
+    def histogram(self, name: str,
+                  boundaries: Optional[Sequence[float]] = None
+                  ) -> Histogram:
+        if boundaries is None:
+            boundaries = LATENCY_BUCKETS_NS
+        metric = self._get_or_create(name, Histogram, boundaries)
+        if metric.boundaries != tuple(boundaries):
+            raise ObsError(
+                f"histogram {name!r} re-requested with different "
+                "boundaries")
+        return metric
+
+    def get(self, name: str) -> Optional[object]:
+        return self._metrics.get(name)
+
+    def names(self):
+        return sorted(self._metrics)
+
+    def snapshot(self) -> Dict[str, Dict[str, object]]:
+        """A JSON-serializable dump of every metric, keyed by kind."""
+        out: Dict[str, Dict[str, object]] = {
+            "counters": {}, "gauges": {}, "histograms": {}}
+        for name in sorted(self._metrics):
+            metric = self._metrics[name]
+            if isinstance(metric, Counter):
+                out["counters"][name] = metric.value
+            elif isinstance(metric, Gauge):
+                out["gauges"][name] = metric.value
+            else:
+                hist: Histogram = metric  # type: ignore[assignment]
+                out["histograms"][name] = {
+                    "boundaries": list(hist.boundaries),
+                    "bucket_counts": list(hist.bucket_counts),
+                    "count": hist.count,
+                    "sum": hist.sum,
+                }
+        return out
+
+    def reset(self) -> None:
+        self._metrics.clear()
+
+
+#: Process-wide registry for telemetry that is not tied to one machine
+#: (the bench recording cache, report-level aggregates).
+_GLOBAL = MetricsRegistry()
+
+
+def global_registry() -> MetricsRegistry:
+    return _GLOBAL

@@ -1,0 +1,202 @@
+"""The per-machine observability session and its null twin.
+
+Every :class:`~repro.soc.machine.Machine` carries an ``obs`` attribute.
+By default it is :data:`NULL_OBS` -- an object with the same surface
+as :class:`Observability` whose every method is a no-op -- so the
+instrumented code paths (driver, recorder, interpreter, environments)
+never branch on "is obs on?" and never pay more than one attribute
+lookup and a call when it is off.
+
+``enable_observability(machine)`` swaps in a live session *before*
+stack bring-up; components constructed afterwards subscribe to it.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, Optional, Sequence
+
+from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
+from repro.obs.tracer import SpanHandle, SpanTracer, Track
+
+
+class Observability:
+    """One machine's telemetry: a span tracer plus a metrics registry."""
+
+    enabled = True
+
+    def __init__(self, clock):
+        self.tracer = SpanTracer(clock)
+        self.metrics = MetricsRegistry()
+        self._driver_tracer = None
+
+    # -- tracing shortcuts -----------------------------------------------------
+
+    def track(self, process: str, thread: str = "main") -> Track:
+        return self.tracer.track(process, thread)
+
+    def span(self, name: str, track: Track, cat: str = "",
+             args: Optional[dict] = None):
+        return self.tracer.span(name, track, cat, args)
+
+    def begin(self, name: str, track: Track, cat: str = "",
+              args: Optional[dict] = None) -> SpanHandle:
+        return self.tracer.begin(name, track, cat, args)
+
+    def end(self, handle: SpanHandle,
+            args: Optional[dict] = None) -> None:
+        self.tracer.end(handle, args)
+
+    def instant(self, name: str, track: Track,
+                args: Optional[dict] = None) -> None:
+        self.tracer.instant(name, track, args)
+
+    def complete(self, name: str, track: Track, start_ns: int,
+                 end_ns: int, args: Optional[dict] = None,
+                 cat: str = "") -> None:
+        self.tracer.complete(name, track, start_ns, end_ns, args, cat)
+
+    # -- metrics shortcuts -----------------------------------------------------
+
+    def counter(self, name: str) -> Counter:
+        return self.metrics.counter(name)
+
+    def gauge(self, name: str) -> Gauge:
+        return self.metrics.gauge(name)
+
+    def histogram(self, name: str,
+                  boundaries: Optional[Sequence[float]] = None
+                  ) -> Histogram:
+        return self.metrics.histogram(name, boundaries)
+
+    def snapshot(self) -> Dict[str, Dict[str, object]]:
+        return self.metrics.snapshot()
+
+    # -- driver chokepoint subscription ----------------------------------------
+
+    def driver_tracer(self):
+        """The DriverTracer that feeds this session (lazily built).
+
+        Imported lazily: :mod:`repro.obs.driver_hook` pulls in
+        :mod:`repro.stack.driver.trace`, and the stack package imports
+        :mod:`repro.soc.machine`, which imports this module.
+        """
+        if self._driver_tracer is None:
+            from repro.obs.driver_hook import ObsDriverTracer
+            self._driver_tracer = ObsDriverTracer(self)
+        return self._driver_tracer
+
+    # -- export ----------------------------------------------------------------
+
+    def to_chrome_trace(self) -> dict:
+        return self.tracer.to_chrome_trace()
+
+    def export_timeline(self, path: str) -> dict:
+        trace = self.to_chrome_trace()
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(trace, handle, indent=1)
+        return trace
+
+
+class _NullSpan:
+    """A reusable no-op span handle / context manager."""
+
+    __slots__ = ()
+    closed = True
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc):
+        return False
+
+    def end(self, args: Optional[dict] = None) -> None:
+        pass
+
+
+class _NullMetric:
+    """Accepts every Counter/Gauge/Histogram mutation, records nothing."""
+
+    __slots__ = ()
+    value = 0
+    count = 0
+    sum = 0
+
+    def inc(self, amount: float = 1) -> None:
+        pass
+
+    def set(self, value: float) -> None:
+        pass
+
+    def add(self, delta: float) -> None:
+        pass
+
+    def observe(self, value: float) -> None:
+        pass
+
+    def mean(self) -> float:
+        return 0.0
+
+
+_NULL_SPAN = _NullSpan()
+_NULL_METRIC = _NullMetric()
+_NULL_TRACK = Track(0, 0)
+
+
+class NullObservability:
+    """Same surface as :class:`Observability`; does nothing."""
+
+    enabled = False
+
+    def track(self, process: str, thread: str = "main") -> Track:
+        return _NULL_TRACK
+
+    def span(self, name, track, cat="", args=None):
+        return _NULL_SPAN
+
+    def begin(self, name, track, cat="", args=None):
+        return _NULL_SPAN
+
+    def end(self, handle, args=None) -> None:
+        pass
+
+    def instant(self, name, track, args=None) -> None:
+        pass
+
+    def complete(self, name, track, start_ns, end_ns, args=None,
+                 cat="") -> None:
+        pass
+
+    def counter(self, name):
+        return _NULL_METRIC
+
+    def gauge(self, name):
+        return _NULL_METRIC
+
+    def histogram(self, name, boundaries=None):
+        return _NULL_METRIC
+
+    def snapshot(self) -> Dict[str, Dict[str, object]]:
+        return {"counters": {}, "gauges": {}, "histograms": {}}
+
+    def driver_tracer(self):
+        return None
+
+    def to_chrome_trace(self) -> dict:
+        return {"traceEvents": [], "displayTimeUnit": "ms"}
+
+
+NULL_OBS = NullObservability()
+
+
+def enable_observability(machine) -> Observability:
+    """Attach a live obs session to ``machine`` (idempotent).
+
+    Call *before* constructing drivers/runtimes so their chokepoint
+    subscriptions land on the live session.
+    """
+    if isinstance(machine.obs, Observability):
+        return machine.obs
+    obs = Observability(machine.clock)
+    machine.obs = obs
+    return obs

@@ -1,0 +1,86 @@
+"""CI smoke run: record MNIST, replay it, export + validate a timeline.
+
+Exercises the full observability path end to end::
+
+    python -m repro.obs.smoke [artifact-dir]
+
+1. bring up the Mali stack, record an MNIST inference;
+2. ``grr trace`` the recording -> ``timeline.json`` (validated Chrome
+   trace JSON, the artifact CI archives);
+3. replay once more with obs enabled and assert the metrics snapshot
+   carries nonzero replay counters;
+4. ``grr stats --json`` for CLI coverage.
+
+Exit code 0 on success; any failure prints the reason and exits 1.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+
+import numpy as np
+
+#: Counters a successful MNIST replay must have incremented.
+REQUIRED_NONZERO = ("replay.reg_writes", "replay.irq_waits",
+                    "replay.upload_bytes", "replay.actions")
+
+
+def main(argv=None) -> int:
+    from repro.bench.workloads import build_stack
+    from repro.core.harness import record_inference
+    from repro.obs import validate_chrome_trace
+    from repro.tools import grr
+
+    argv = sys.argv[1:] if argv is None else argv
+    outdir = argv[0] if argv else "smoke-artifacts"
+    os.makedirs(outdir, exist_ok=True)
+    rec_path = os.path.join(outdir, "mnist.grr")
+    timeline_path = os.path.join(outdir, "timeline.json")
+
+    print("[1/4] recording mnist on the mali stack ...")
+    stack = build_stack("mali", "mnist")
+    warm = np.zeros(stack.net.model.input_shape, np.float32)
+    stack.net.run(warm)
+    workload = record_inference(stack.net)
+    with open(rec_path, "wb") as handle:
+        handle.write(workload.recording.to_bytes())
+
+    print("[2/4] grr trace -> timeline.json ...")
+    code = grr.main(["trace", rec_path, "--out", timeline_path])
+    if code != 0:
+        print(f"FAIL: grr trace exited {code}")
+        return 1
+    with open(timeline_path, encoding="utf-8") as handle:
+        trace = json.load(handle)
+    errors = validate_chrome_trace(trace)
+    if errors:
+        print(f"FAIL: timeline.json invalid: {errors[:5]}")
+        return 1
+
+    print("[3/4] replay with obs on; checking metric snapshot ...")
+    recording = grr._load(rec_path)
+    machine, replayer, _result = grr._fresh_replay(
+        recording, recording.meta.board, seed=2026, with_obs=True)
+    replayer.cleanup()
+    counters = machine.obs.snapshot()["counters"]
+    for name in REQUIRED_NONZERO:
+        if counters.get(name, 0) <= 0:
+            print(f"FAIL: counter {name} is zero after replay; "
+                  f"snapshot: {counters}")
+            return 1
+
+    print("[4/4] grr stats --json ...")
+    code = grr.main(["stats", rec_path, "--json"])
+    if code != 0:
+        print(f"FAIL: grr stats exited {code}")
+        return 1
+
+    print(f"SMOKE OK ({len(trace['traceEvents'])} trace events, "
+          f"artifacts in {outdir}/)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -14,6 +14,7 @@ from dataclasses import dataclass
 from typing import Optional
 
 from repro.errors import SocError
+from repro.obs.session import NULL_OBS
 from repro.soc.boards import BoardSpec, board_by_name
 from repro.soc.clock import VirtualClock
 from repro.soc.firmware import FirmwareMailbox
@@ -59,6 +60,11 @@ class Machine:
         self.irq = InterruptController()
         self.firmware = FirmwareMailbox(self.clock)
         self.interference = InterferenceProfile()
+        # Telemetry sink: a no-op by default; swapped for a live
+        # session by repro.obs.enable_observability(machine). Obs only
+        # ever *reads* the clock, so enabling it never changes
+        # virtual-time results.
+        self.obs = NULL_OBS
         self.gpu = None  # type: Optional[object]
 
     @classmethod

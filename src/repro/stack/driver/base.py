@@ -9,7 +9,7 @@ the stock driver.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Optional
+from typing import Callable, Dict, Optional
 
 from repro.errors import DriverError
 from repro.soc.machine import Machine
@@ -41,7 +41,10 @@ class GpuDriver:
         self.regs = self.gpu.regs
         self.clock = machine.clock
         self.ioctls = IoctlDispatcher(self.clock)
-        self._tracers: List[trace.DriverTracer] = []
+        self._tracers = trace.TracerMux()
+        obs_tracer = machine.obs.driver_tracer()
+        if obs_tracer is not None:
+            self._tracers.add(obs_tracer)
         self._in_irq = False
         self._irq_connected = False
         self.outstanding_jobs = 0
@@ -53,14 +56,13 @@ class GpuDriver:
     # -- instrumentation -------------------------------------------------------
 
     def attach_tracer(self, tracer: trace.DriverTracer) -> None:
-        self._tracers.append(tracer)
+        self._tracers.add(tracer)
 
     def detach_tracer(self, tracer: trace.DriverTracer) -> None:
         self._tracers.remove(tracer)
 
     def _emit(self, event: trace.TraceEvent) -> None:
-        for tracer in self._tracers:
-            tracer.emit(event)
+        self._tracers.emit(event)
 
     def gpu_busy_hint(self) -> bool:
         """The driver's own accounting of whether the GPU is working."""

@@ -103,6 +103,34 @@ class DriverTracer:
         raise NotImplementedError
 
 
+class TracerMux(DriverTracer):
+    """Fans every event out to N subscribers in attach order.
+
+    This is what lets the recorder and the observability layer watch
+    the same chokepoints simultaneously: the driver holds exactly one
+    mux and subscribers come and go through it.
+    """
+
+    def __init__(self, *tracers: DriverTracer):
+        self._tracers: List[DriverTracer] = list(tracers)
+
+    def add(self, tracer: DriverTracer) -> None:
+        self._tracers.append(tracer)
+
+    def remove(self, tracer: DriverTracer) -> None:
+        self._tracers.remove(tracer)
+
+    def __len__(self) -> int:
+        return len(self._tracers)
+
+    def __contains__(self, tracer: DriverTracer) -> bool:
+        return tracer in self._tracers
+
+    def emit(self, event: TraceEvent) -> None:
+        for tracer in self._tracers:
+            tracer.emit(event)
+
+
 class ListTracer(DriverTracer):
     """Buffers events in a list (handy for tests and analysis)."""
 

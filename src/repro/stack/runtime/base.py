@@ -95,19 +95,22 @@ class ComputeRuntime:
         """Create the GPU context (the expensive part of app startup)."""
         if self.initialized:
             raise RuntimeApiError(f"{self.api_name}: context already up")
-        self.clock.advance(self.LIB_LOAD_NS)
-        self.driver.ioctl(IoctlCode.VERSION_CHECK)
-        props = self.driver.ioctl(IoctlCode.GET_GPU_PROPS)
-        self._affinity = (1 << int(props["cores"])) - 1
-        if not self.driver.opened:
-            self.driver.open()
-        self.driver.create_context()
-        self.clock.advance(self.MEM_INIT_NS)
-        scratch_va = self.driver.ioctl(
-            IoctlCode.MEM_ALLOC, size=self.SCRATCH_BYTES,
-            flags=MemFlags.gpu_scratch(), tag="runtime-scratch")
-        self._scratch = Buffer(scratch_va, self.SCRATCH_BYTES, (0,),
-                               "runtime-scratch")
+        obs = self.driver.machine.obs
+        with obs.span(f"runtime:{self.api_name}:init",
+                      obs.track("stack", "runtime"), cat="stack"):
+            self.clock.advance(self.LIB_LOAD_NS)
+            self.driver.ioctl(IoctlCode.VERSION_CHECK)
+            props = self.driver.ioctl(IoctlCode.GET_GPU_PROPS)
+            self._affinity = (1 << int(props["cores"])) - 1
+            if not self.driver.opened:
+                self.driver.open()
+            self.driver.create_context()
+            self.clock.advance(self.MEM_INIT_NS)
+            scratch_va = self.driver.ioctl(
+                IoctlCode.MEM_ALLOC, size=self.SCRATCH_BYTES,
+                flags=MemFlags.gpu_scratch(), tag="runtime-scratch")
+            self._scratch = Buffer(scratch_va, self.SCRATCH_BYTES, (0,),
+                                   "runtime-scratch")
         self.initialized = True
 
     def release(self) -> None:
@@ -164,9 +167,13 @@ class ComputeRuntime:
         """JIT-compile one kernel (the Mali startup bottleneck)."""
         self._require_init()
         ir.validate()
-        cost = self.COMPILE_BASE_NS + self.COMPILE_PER_OP_NS * len(ir.ops)
-        self.clock.advance(cost)
+        obs = self.driver.machine.obs
+        with obs.span(f"jit:{ir.name}", obs.track("stack", "runtime"),
+                      cat="stack", args={"ops": len(ir.ops)}):
+            cost = self.COMPILE_BASE_NS + self.COMPILE_PER_OP_NS * len(ir.ops)
+            self.clock.advance(cost)
         self.kernels_compiled += 1
+        obs.counter("runtime.kernels_compiled").inc()
         return CompiledKernel(ir, cost)
 
     def enqueue(self, kernel: CompiledKernel,

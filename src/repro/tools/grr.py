@@ -6,9 +6,15 @@ Subcommands::
     grr actions <file> [--limit N]        the replay-action stream
     grr verify <file> --board BOARD       run the §5.1 static verifier
     grr patch <file> --target-sku SKU -o OUT   cross-SKU patch (§6.4)
+    grr trace <file> [--out timeline.json]  replay + export a Perfetto-
+                                          loadable Chrome trace timeline
+    grr stats <file> [--json]             replay + print the metrics
+                                          snapshot (counters/gauges/
+                                          histograms)
 
 Runs entirely offline on the recording file; ``verify`` builds the
-target board's machine only to obtain its register map.
+target board's machine only to obtain its register map, and ``trace``/
+``stats``/``replay`` build a fresh board and feed random inputs.
 """
 
 from __future__ import annotations
@@ -131,25 +137,36 @@ def cmd_verify(args) -> int:
     return 0
 
 
-def cmd_replay(args) -> int:
-    """Replay a recording on a fresh simulated board with random input."""
+def _resolve_board(args, recording: Recording) -> Optional[str]:
+    board = getattr(args, "board", None) or recording.meta.board
+    if board not in BOARDS:
+        print(f"unknown board {board!r}; "
+              f"known: {', '.join(sorted(BOARDS))}")
+        return None
+    return board
+
+
+def _fresh_replay(recording: Recording, board: str, seed: int,
+                  with_obs: bool = False):
+    """Replay ``recording`` on a fresh board with random inputs.
+
+    Returns ``(machine, replayer, result)``; the replayer is still
+    initialized so callers can inspect it before cleanup().
+    """
     import numpy as np
 
     from repro.core.replayer import Replayer
     from repro.environments.base import host_kernel_configures_gpu
+    from repro.obs import enable_observability
 
-    recording = _load(args.file)
-    board = args.board or recording.meta.board
-    if board not in BOARDS:
-        print(f"unknown board {board!r}; "
-              f"known: {', '.join(sorted(BOARDS))}")
-        return 2
-    machine = Machine.create(board, seed=args.seed)
+    machine = Machine.create(board, seed=seed)
+    if with_obs:
+        enable_observability(machine)
     host_kernel_configures_gpu(machine)
     replayer = Replayer(machine)
     replayer.init()
     replayer.load(recording)
-    rng = np.random.default_rng(args.seed)
+    rng = np.random.default_rng(seed)
     inputs = {}
     for io in recording.meta.inputs:
         if io.optional:
@@ -157,6 +174,17 @@ def cmd_replay(args) -> int:
         shape = io.shape or (io.size // 4,)
         inputs[io.name] = rng.standard_normal(shape).astype(np.float32)
     result = replayer.replay(inputs=inputs)
+    return machine, replayer, result
+
+
+def cmd_replay(args) -> int:
+    """Replay a recording on a fresh simulated board with random input."""
+    recording = _load(args.file)
+    board = _resolve_board(args, recording)
+    if board is None:
+        return 2
+    machine, replayer, result = _fresh_replay(recording, board,
+                                              args.seed)
     print(f"replayed {recording.meta.workload} on "
           f"{machine.gpu.model_name}: {result.stats.jobs_kicked} jobs, "
           f"{result.stats.actions_executed} actions in "
@@ -169,6 +197,65 @@ def cmd_replay(args) -> int:
         print(f"  output {name} {tuple(value.shape)}: "
               f"[{preview}{suffix}]")
     replayer.cleanup()
+    return 0
+
+
+def cmd_trace(args) -> int:
+    """Replay with observability on and export a Chrome trace JSON."""
+    from repro.obs import validate_chrome_trace
+
+    recording = _load(args.file)
+    board = _resolve_board(args, recording)
+    if board is None:
+        return 2
+    machine, replayer, result = _fresh_replay(recording, board,
+                                              args.seed, with_obs=True)
+    replayer.cleanup()
+    trace = machine.obs.export_timeline(args.out)
+    errors = validate_chrome_trace(trace)
+    if errors:
+        print(f"INVALID trace ({len(errors)} problems):")
+        for problem in errors[:10]:
+            print(f"  {problem}")
+        return 1
+    events = trace["traceEvents"]
+    spans = sum(1 for e in events if e.get("ph") in ("B", "X"))
+    print(f"wrote {args.out}: {len(events)} events ({spans} spans) "
+          f"over {fmt_ns(result.duration_ns)} of replay; load it at "
+          f"https://ui.perfetto.dev or chrome://tracing")
+    return 0
+
+
+def _print_snapshot(snapshot) -> None:
+    for name in sorted(snapshot["counters"]):
+        print(f"  {name:<36} {snapshot['counters'][name]}")
+    for name in sorted(snapshot["gauges"]):
+        print(f"  {name:<36} {snapshot['gauges'][name]}")
+    for name in sorted(snapshot["histograms"]):
+        hist = snapshot["histograms"][name]
+        mean = hist["sum"] / hist["count"] if hist["count"] else 0.0
+        print(f"  {name:<36} count={hist['count']} "
+              f"sum={hist['sum']:.0f} mean={mean:.1f}")
+
+
+def cmd_stats(args) -> int:
+    """Replay with observability on and print the metrics snapshot."""
+    import json
+
+    recording = _load(args.file)
+    board = _resolve_board(args, recording)
+    if board is None:
+        return 2
+    machine, replayer, result = _fresh_replay(recording, board,
+                                              args.seed, with_obs=True)
+    replayer.cleanup()
+    snapshot = machine.obs.snapshot()
+    if args.json:
+        print(json.dumps(snapshot, indent=1, sort_keys=True))
+        return 0
+    print(f"metrics after replaying {recording.meta.workload} "
+          f"({fmt_ns(result.duration_ns)} virtual):")
+    _print_snapshot(snapshot)
     return 0
 
 
@@ -217,6 +304,25 @@ def build_parser() -> argparse.ArgumentParser:
                         help="defaults to the recording's board")
     replay.add_argument("--seed", type=int, default=2026)
     replay.set_defaults(func=cmd_replay)
+
+    trace_cmd = sub.add_parser(
+        "trace", help="replay + export a Chrome trace timeline")
+    trace_cmd.add_argument("file")
+    trace_cmd.add_argument("--board", default=None,
+                           help="defaults to the recording's board")
+    trace_cmd.add_argument("--seed", type=int, default=2026)
+    trace_cmd.add_argument("--out", default="timeline.json")
+    trace_cmd.set_defaults(func=cmd_trace)
+
+    stats = sub.add_parser(
+        "stats", help="replay + print the metrics snapshot")
+    stats.add_argument("file")
+    stats.add_argument("--board", default=None,
+                       help="defaults to the recording's board")
+    stats.add_argument("--seed", type=int, default=2026)
+    stats.add_argument("--json", action="store_true",
+                       help="machine-readable output")
+    stats.set_defaults(func=cmd_stats)
 
     patch = sub.add_parser("patch", help="cross-SKU patch (Mali)")
     patch.add_argument("file")

@@ -2,10 +2,12 @@
 
 import pytest
 
-from repro.bench.harness import ResultTable, cached, clear_recording_cache, geomean
+from repro.bench.harness import (RecordingCache, ResultTable, cached,
+                                 clear_recording_cache, geomean)
 from repro.bench.workloads import (board_for_family, build_stack,
                                    model_input, saxpy_ir, vecadd_ir)
 from repro.errors import ReproError
+from repro.obs.metrics import global_registry
 
 
 class TestResultTable:
@@ -42,6 +44,23 @@ class TestResultTable:
         header, divider = lines[1], lines[2]
         assert len(header) == len(divider)
 
+    def test_json_round_trip(self):
+        table = self.make()
+        table.notes.append("a note")
+        restored = ResultTable.from_json(table.to_json())
+        assert restored.title == table.title
+        assert list(restored.columns) == list(table.columns)
+        assert restored.rows == table.rows
+        assert restored.notes == table.notes
+
+    def test_to_dict_coerces_numpy_scalars(self):
+        import numpy as np
+        table = ResultTable("t", ["a"])
+        table.add_row(a=np.float64(1.5))
+        value = table.to_dict()["rows"][0]["a"]
+        assert type(value) is float
+        ResultTable.from_json(table.to_json())  # must be serializable
+
 
 class TestCache:
     def test_cached_produces_once(self):
@@ -64,12 +83,52 @@ class TestCache:
         cached(key, lambda: calls.append(1))
         assert len(calls) == 2
 
+    def test_hit_miss_accounting(self):
+        cache = RecordingCache()
+        hits0 = global_registry().counter("bench.recording_cache.hits").value
+        misses0 = global_registry().counter(
+            "bench.recording_cache.misses").value
+        cache.get_or_produce(("k",), lambda: "v")
+        cache.get_or_produce(("k",), lambda: "v")
+        cache.get_or_produce(("k2",), lambda: "v2")
+        assert (cache.hits, cache.misses) == (1, 2)
+        assert len(cache) == 2
+        registry = global_registry()
+        assert registry.counter(
+            "bench.recording_cache.hits").value - hits0 == 1
+        assert registry.counter(
+            "bench.recording_cache.misses").value - misses0 == 2
+
+    def test_clear_keeps_counters(self):
+        cache = RecordingCache()
+        cache.get_or_produce(("k",), lambda: "v")
+        cache.clear()
+        assert len(cache) == 0
+        assert cache.misses == 1
+
 
 class TestGeomean:
     def test_basic(self):
         assert abs(geomean([1.0, 4.0]) - 2.0) < 1e-9
         assert geomean([]) == 0.0
         assert geomean([3.0]) == 3.0
+
+    def test_no_overflow_with_huge_values(self):
+        # A naive running product hits inf after two of these.
+        values = [1e308] * 20
+        result = geomean(values)
+        assert result != float("inf")
+        assert abs(result - 1e308) / 1e308 < 1e-12
+
+    def test_no_underflow_with_tiny_values(self):
+        values = [1e-308] * 20
+        result = geomean(values)
+        assert result != 0.0
+        assert abs(result - 1e-308) / 1e-308 < 1e-12
+
+    def test_non_positive_values_yield_zero(self):
+        assert geomean([1.0, 0.0, 4.0]) == 0.0
+        assert geomean([2.0, -3.0]) == 0.0
 
 
 class TestWorkloadBuilders:

@@ -1,0 +1,100 @@
+"""The metrics registry: counters, gauges, histograms, snapshots."""
+
+import pytest
+
+from repro.errors import ObsError
+from repro.obs import (LATENCY_BUCKETS_NS, SIZE_BUCKETS_BYTES,
+                       MetricsRegistry, global_registry)
+
+
+class TestCounter:
+    def test_starts_at_zero_and_accumulates(self):
+        counter = MetricsRegistry().counter("c")
+        assert counter.value == 0
+        counter.inc()
+        counter.inc(41)
+        assert counter.value == 42
+
+    def test_rejects_negative_increment(self):
+        counter = MetricsRegistry().counter("c")
+        with pytest.raises(ObsError):
+            counter.inc(-1)
+
+    def test_get_or_create_returns_same_object(self):
+        registry = MetricsRegistry()
+        assert registry.counter("x") is registry.counter("x")
+
+
+class TestGauge:
+    def test_set_and_add(self):
+        gauge = MetricsRegistry().gauge("g")
+        gauge.set(10)
+        gauge.add(-3)
+        assert gauge.value == 7
+
+
+class TestHistogram:
+    def test_bucketing(self):
+        hist = MetricsRegistry().histogram("h", (10, 100))
+        for value in (5, 50, 500, 7):
+            hist.observe(value)
+        assert hist.count == 4
+        assert hist.sum == 562
+        assert hist.bucket_counts == [2, 1, 1]  # <=10, <=100, overflow
+
+    def test_mean(self):
+        hist = MetricsRegistry().histogram("h", (10,))
+        assert hist.mean() == 0.0
+        hist.observe(4)
+        hist.observe(8)
+        assert hist.mean() == 6.0
+
+    def test_boundary_mismatch_rejected(self):
+        registry = MetricsRegistry()
+        registry.histogram("h", (10, 100))
+        with pytest.raises(ObsError):
+            registry.histogram("h", (1, 2))
+
+    def test_shared_bucket_presets_are_sorted(self):
+        assert list(LATENCY_BUCKETS_NS) == sorted(LATENCY_BUCKETS_NS)
+        assert list(SIZE_BUCKETS_BYTES) == sorted(SIZE_BUCKETS_BYTES)
+
+
+class TestRegistry:
+    def test_kind_collision_rejected(self):
+        registry = MetricsRegistry()
+        registry.counter("name")
+        with pytest.raises(ObsError):
+            registry.gauge("name")
+        with pytest.raises(ObsError):
+            registry.histogram("name", (1,))
+
+    def test_snapshot_structure(self):
+        registry = MetricsRegistry()
+        registry.counter("c").inc(3)
+        registry.gauge("g").set(1.5)
+        registry.histogram("h", (10,)).observe(7)
+        snapshot = registry.snapshot()
+        assert snapshot["counters"] == {"c": 3}
+        assert snapshot["gauges"] == {"g": 1.5}
+        hist = snapshot["histograms"]["h"]
+        assert hist["count"] == 1
+        assert hist["sum"] == 7
+        assert hist["boundaries"] == [10]
+        assert hist["bucket_counts"] == [1, 0]
+
+    def test_snapshot_is_a_copy(self):
+        registry = MetricsRegistry()
+        registry.counter("c").inc()
+        snapshot = registry.snapshot()
+        registry.counter("c").inc()
+        assert snapshot["counters"]["c"] == 1
+
+    def test_reset(self):
+        registry = MetricsRegistry()
+        registry.counter("c").inc()
+        registry.reset()
+        assert registry.snapshot()["counters"] == {}
+
+    def test_global_registry_is_singleton(self):
+        assert global_registry() is global_registry()

@@ -1,0 +1,214 @@
+"""The span tracer and the Chrome trace-event validator."""
+
+from repro.obs import SpanTracer, validate_chrome_trace
+
+
+class FakeClock:
+    """A settable clock that records whether anyone tried to advance it."""
+
+    def __init__(self):
+        self.t = 0
+        self.advance_calls = 0
+
+    def now(self):
+        return self.t
+
+    def advance(self, delta):
+        self.advance_calls += 1
+        self.t += delta
+
+
+def events_of(tracer, phase=None):
+    trace = tracer.to_chrome_trace()
+    events = trace["traceEvents"]
+    if phase is None:
+        return events
+    return [e for e in events if e["ph"] == phase]
+
+
+class TestTracks:
+    def test_track_metadata_events(self):
+        tracer = SpanTracer(FakeClock())
+        track = tracer.track("replay", "actions")
+        assert (track.pid, track.tid) == (1, 1)
+        events = events_of(tracer, "M")
+        names = {(e["name"], e["args"]["name"]) for e in events}
+        assert ("process_name", "replay") in names
+        assert ("thread_name", "actions") in names
+
+    def test_same_process_shares_pid(self):
+        tracer = SpanTracer(FakeClock())
+        a = tracer.track("replay", "actions")
+        b = tracer.track("replay", "jobs")
+        c = tracer.track("gpu", "slot0")
+        assert a.pid == b.pid
+        assert a.tid != b.tid
+        assert c.pid != a.pid
+
+    def test_track_is_get_or_create(self):
+        tracer = SpanTracer(FakeClock())
+        assert tracer.track("p", "t") == tracer.track("p", "t")
+        assert tracer.event_count == 2  # one process_name + one thread_name
+
+
+class TestSpans:
+    def test_begin_end_emits_balanced_pair(self):
+        clock = FakeClock()
+        tracer = SpanTracer(clock)
+        track = tracer.track("p")
+        handle = tracer.begin("work", track, cat="test", args={"k": 1})
+        clock.t = 5000
+        tracer.end(handle, args={"done": True})
+        begin, end = events_of(tracer, "B")[0], events_of(tracer, "E")[0]
+        assert begin["name"] == "work"
+        assert begin["cat"] == "test"
+        assert begin["args"] == {"k": 1}
+        assert begin["ts"] == 0.0
+        assert end["ts"] == 5.0  # exported in microseconds
+        assert end["args"] == {"done": True}
+
+    def test_end_is_idempotent(self):
+        tracer = SpanTracer(FakeClock())
+        track = tracer.track("p")
+        handle = tracer.begin("work", track)
+        tracer.end(handle)
+        tracer.end(handle)
+        assert len(events_of(tracer, "E")) == 1
+
+    def test_abandoned_children_auto_close(self):
+        clock = FakeClock()
+        tracer = SpanTracer(clock)
+        track = tracer.track("p")
+        outer = tracer.begin("outer", track)
+        tracer.begin("inner", track)  # never explicitly ended
+        clock.t = 1000
+        tracer.end(outer)
+        ends = events_of(tracer, "E")
+        assert [e["name"] for e in ends] == ["inner", "outer"]
+        assert tracer.open_span_count() == 0
+
+    def test_span_context_manager_closes_on_exception(self):
+        tracer = SpanTracer(FakeClock())
+        track = tracer.track("p")
+        try:
+            with tracer.span("work", track):
+                raise RuntimeError("boom")
+        except RuntimeError:
+            pass
+        assert tracer.open_span_count() == 0
+
+    def test_finalize_closes_everything(self):
+        tracer = SpanTracer(FakeClock())
+        track = tracer.track("p")
+        tracer.begin("a", track)
+        tracer.begin("b", track)
+        tracer.finalize()
+        assert tracer.open_span_count() == 0
+        ends = events_of(tracer, "E")
+        assert all(e["args"] == {"auto_closed": True} for e in ends)
+
+    def test_tracer_never_advances_the_clock(self):
+        clock = FakeClock()
+        tracer = SpanTracer(clock)
+        track = tracer.track("p", "t")
+        with tracer.span("a", track, cat="c", args={"x": 1}):
+            tracer.instant("i", track, args={"y": 2})
+            tracer.complete("x", track, 0, 10)
+            tracer.counter_sample("c", track, {"v": 3})
+        tracer.to_chrome_trace()
+        assert clock.advance_calls == 0
+        assert clock.t == 0
+
+
+class TestPointEvents:
+    def test_instant_and_counter(self):
+        clock = FakeClock()
+        clock.t = 2500
+        tracer = SpanTracer(clock)
+        track = tracer.track("p")
+        tracer.instant("mark", track, args={"n": 1})
+        tracer.counter_sample("vals", track, {"v": 9})
+        instant = events_of(tracer, "i")[0]
+        assert instant["ts"] == 2.5
+        assert instant["s"] == "t"
+        counter = events_of(tracer, "C")[0]
+        assert counter["args"] == {"v": 9}
+
+    def test_complete_converts_ns_to_us(self):
+        tracer = SpanTracer(FakeClock())
+        track = tracer.track("p")
+        tracer.complete("iv", track, 1000, 4000, cat="test")
+        event = events_of(tracer, "X")[0]
+        assert event["ts"] == 1.0
+        assert event["dur"] == 3.0
+        assert event["cat"] == "test"
+
+    def test_complete_clamps_negative_duration(self):
+        tracer = SpanTracer(FakeClock())
+        track = tracer.track("p")
+        tracer.complete("iv", track, 4000, 1000)
+        assert events_of(tracer, "X")[0]["dur"] == 0.0
+
+
+class TestValidator:
+    def test_exported_trace_validates(self):
+        clock = FakeClock()
+        tracer = SpanTracer(clock)
+        track = tracer.track("p")
+        with tracer.span("outer", track):
+            clock.t = 100
+            with tracer.span("inner", track):
+                clock.t = 200
+            clock.t = 300
+        tracer.complete("x1", track, 400, 500)
+        tracer.complete("x2", track, 500, 600)
+        assert validate_chrome_trace(tracer.to_chrome_trace()) == []
+
+    def test_rejects_non_object(self):
+        assert validate_chrome_trace([]) != []
+        assert validate_chrome_trace({"events": []}) != []
+
+    def test_unbalanced_end_reported(self):
+        trace = {"traceEvents": [
+            {"ph": "E", "pid": 1, "tid": 1, "ts": 1.0}]}
+        errors = validate_chrome_trace(trace)
+        assert any("no open B" in e for e in errors)
+
+    def test_unclosed_span_reported(self):
+        trace = {"traceEvents": [
+            {"ph": "B", "name": "a", "pid": 1, "tid": 1, "ts": 1.0}]}
+        errors = validate_chrome_trace(trace)
+        assert any("unclosed span" in e for e in errors)
+
+    def test_unknown_phase_reported(self):
+        trace = {"traceEvents": [
+            {"ph": "Z", "name": "a", "pid": 1, "tid": 1, "ts": 1.0}]}
+        errors = validate_chrome_trace(trace)
+        assert any("unknown phase" in e for e in errors)
+
+    def test_partial_x_overlap_reported(self):
+        trace = {"traceEvents": [
+            {"ph": "X", "name": "a", "pid": 1, "tid": 1,
+             "ts": 0.0, "dur": 10.0},
+            {"ph": "X", "name": "b", "pid": 1, "tid": 1,
+             "ts": 5.0, "dur": 10.0}]}
+        errors = validate_chrome_trace(trace)
+        assert any("partially overlaps" in e for e in errors)
+
+    def test_touching_intervals_are_fine(self):
+        # ts + dur accumulates float error; the validator must quantize
+        # back to integer ns so touching intervals don't false-positive.
+        trace = {"traceEvents": [
+            {"ph": "X", "name": "a", "pid": 1, "tid": 1,
+             "ts": 1135.101, "dur": 0.007},
+            {"ph": "X", "name": "b", "pid": 1, "tid": 1,
+             "ts": 1135.108, "dur": 0.005}]}
+        assert validate_chrome_trace(trace) == []
+
+    def test_nested_x_intervals_are_fine(self):
+        trace = {"traceEvents": [
+            {"ph": "X", "name": "outer", "pid": 1, "tid": 1,
+             "ts": 0.0, "dur": 10.0},
+            {"ph": "X", "name": "inner", "pid": 1, "tid": 1,
+             "ts": 2.0, "dur": 3.0}]}
+        assert validate_chrome_trace(trace) == []
