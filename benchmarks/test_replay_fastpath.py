@@ -1,0 +1,66 @@
+"""The compiled replay fast path: acceptance benchmarks.
+
+Three claims, measured honestly on this machine:
+
+- a warm ``load()`` (content-addressed cache hit) is at least 10x
+  cheaper in virtual time than a cold one;
+- the compiled fast path (pre-resolved registers, closure dispatch,
+  coherent GPU TLB, resident-dump skipping) replays at least 2x as
+  many inferences per wall-clock second as the pre-fast-path
+  configuration;
+- repeat replays skip re-uploading the recording's dump bytes.
+
+The committed ``BENCH_replay_fastpath.json`` pins the two speedup
+ratios; CI re-runs the measurement via ``grr bench --check`` and fails
+on a >20% regression against the pin.
+"""
+
+import json
+import pathlib
+
+import pytest
+
+from repro.bench.experiments import measure_fastpath, replay_fastpath
+
+PIN_FILE = pathlib.Path(__file__).resolve().parent.parent / \
+    "BENCH_replay_fastpath.json"
+
+
+@pytest.fixture(scope="module")
+def measured():
+    return measure_fastpath()
+
+
+def test_warm_load_at_least_10x_cheaper(measured):
+    assert measured["warm_load_speedup"] >= 10.0
+    assert measured["warm_load_ns"] < measured["cold_load_ns"]
+
+
+def test_fast_path_at_least_2x_replay_throughput(measured):
+    assert measured["replay_speedup"] >= 2.0, (
+        f"fast path {measured['fast_replays_per_sec']:.0f}/s vs "
+        f"reference {measured['reference_replays_per_sec']:.0f}/s")
+
+
+def test_repeat_replays_skip_dump_uploads(measured):
+    assert measured["upload_skipped_bytes"] > 0
+    # The serve workload's point: the skipped bytes dwarf what still
+    # has to move (inputs and GPU-dirtied buffers).
+    assert measured["upload_skipped_bytes"] > measured["upload_bytes"]
+
+
+def test_pinned_ratios_within_tolerance(measured):
+    """The same guard CI runs via ``grr bench --check``."""
+    pinned = json.loads(PIN_FILE.read_text())
+    for metric in ("warm_load_speedup", "replay_speedup"):
+        floor = pinned[metric] * 0.8
+        assert measured[metric] >= floor, (
+            f"{metric} regressed: {measured[metric]:.2f} < "
+            f"floor {floor:.2f} (pinned {pinned[metric]:.2f})")
+
+
+def test_fastpath_table_renders(experiment):
+    table = experiment(replay_fastpath)
+    metrics = {row["metric"]: row["value"] for row in table.rows}
+    assert metrics["replay_speedup"] >= 2.0
+    assert metrics["upload_skipped_bytes"] > 0

@@ -6,6 +6,8 @@ whose rows regenerate what the paper reports; the benchmark suite in
 by roughly what factor, where crossovers fall).
 """
 
+from repro.bench.experiments.fastpath import (measure_fastpath,
+                                              replay_fastpath)
 from repro.bench.experiments.fig03 import sync_submission_overhead
 from repro.bench.experiments.fig05 import interaction_intervals
 from repro.bench.experiments.fig06 import startup_delays
@@ -30,9 +32,11 @@ __all__ = [
     "cve_elimination",
     "inference_delays",
     "interaction_intervals",
+    "measure_fastpath",
     "preemption_delays",
     "recording_granularity",
     "recording_stats",
+    "replay_fastpath",
     "skip_interval_ablation",
     "startup_delays",
     "sync_submission_overhead",

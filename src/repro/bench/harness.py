@@ -11,8 +11,9 @@ from __future__ import annotations
 import json
 import math
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Sequence
+from typing import Callable, Dict, List, Optional, Sequence
 
+from repro.core.cache import LruCache
 from repro.obs.metrics import global_registry
 
 
@@ -101,45 +102,62 @@ class ResultTable:
         return cls.from_dict(json.loads(text))
 
 
-class RecordingCache:
-    """Keyed store of recorded workloads with hit/miss accounting.
+#: Default bound on the recording cache: comfortably above the bench
+#: suite's distinct workload count, finite under a long-lived serve
+#: loop that cycles through arbitrarily many recordings.
+RECORDING_CACHE_CAPACITY = 32
 
-    Hits and misses are mirrored into the global metrics registry
-    (``bench.recording_cache.hits`` / ``.misses``) so bench JSON output
-    shows how much record work the cache saved.
+
+class RecordingCache:
+    """Bounded, thread-safe store of recorded workloads (LRU).
+
+    A thin veneer over :class:`repro.core.cache.LruCache` keeping the
+    historical bench API. Hits, misses and evictions are mirrored into
+    the global metrics registry (``bench.recording_cache.hits`` /
+    ``.misses`` / ``.evictions``) so bench JSON output shows how much
+    record work the cache saved.
     """
 
-    def __init__(self):
-        self._entries: Dict[tuple, object] = {}
-        self._hits = 0
-        self._misses = 0
+    def __init__(self, capacity: Optional[int] = RECORDING_CACHE_CAPACITY):
+        self._lru = LruCache(capacity=capacity)
 
     def get_or_produce(self, key: tuple,
                        produce: Callable[[], object]) -> object:
-        value = self._entries.get(key)
-        if value is not None:
-            self._hits += 1
+        value, hit = self._lru.lookup(key)
+        if hit:
             global_registry().counter("bench.recording_cache.hits").inc()
             return value
-        self._misses += 1
         global_registry().counter("bench.recording_cache.misses").inc()
         value = produce()
-        self._entries[key] = value
+        evictions_before = self._lru.evictions
+        self._lru.put(key, value)
+        evicted = self._lru.evictions - evictions_before
+        if evicted:
+            global_registry().counter(
+                "bench.recording_cache.evictions").inc(evicted)
         return value
 
     def clear(self) -> None:
-        self._entries.clear()
+        self._lru.clear()
 
     def __len__(self) -> int:
-        return len(self._entries)
+        return len(self._lru)
+
+    @property
+    def capacity(self) -> Optional[int]:
+        return self._lru.capacity
 
     @property
     def hits(self) -> int:
-        return self._hits
+        return self._lru.hits
 
     @property
     def misses(self) -> int:
-        return self._misses
+        return self._lru.misses
+
+    @property
+    def evictions(self) -> int:
+        return self._lru.evictions
 
 
 #: (board, model, fuse, granularity) -> (RecordedWorkload, stack info)

@@ -8,6 +8,7 @@ shrink them and the file format compresses them with zlib.
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass
 from typing import Iterable, List, Tuple
 
@@ -27,6 +28,20 @@ class MemoryDump:
 
     def end_va(self) -> int:
         return self.va + len(self.data)
+
+    @property
+    def digest(self) -> str:
+        """Content hash of the dump bytes (hex SHA-256).
+
+        Computed once and memoized on the instance; the nano driver
+        keys its GPU-resident state on it so repeated replays can skip
+        re-uploading bytes that are already on the GPU.
+        """
+        cached = self.__dict__.get("_digest")
+        if cached is None:
+            cached = hashlib.sha256(self.data).hexdigest()
+            object.__setattr__(self, "_digest", cached)
+        return cached
 
 
 def coalesce_pages(pages: Iterable[Tuple[int, bytes]]) -> List[MemoryDump]:

@@ -53,7 +53,11 @@ class InterpreterStats:
     jobs_kicked: int = 0
     irqs_waited: int = 0
     pacing_wait_ns: int = 0
+    #: Bytes actually moved into GPU memory by Upload actions.
     upload_bytes: int = 0
+    #: Bytes Upload actions skipped because identical content was
+    #: already GPU-resident (repeated replays, recovery retries).
+    upload_skipped_bytes: int = 0
     #: Virtual time of the first job-kick write (GR "startup" ends here).
     first_kick_at_ns: int = -1
 
@@ -184,10 +188,15 @@ class ReplayInterpreter:
             nano.unmap_gpu_mem(action.addr, action.num_pages)
         elif isinstance(action, act.Upload):
             dump = self.recording.dumps[action.dump_index]
-            nano.upload(action.addr, dump.data)
-            self.stats.upload_bytes += dump.size
+            uploaded = nano.upload(action.addr, dump.data,
+                                   digest=dump.digest)
+            self.stats.upload_bytes += uploaded
             obs.counter("replay.uploads").inc()
-            obs.counter("replay.upload_bytes").inc(dump.size)
+            obs.counter("replay.upload_bytes").inc(uploaded)
+            skipped = dump.size - uploaded
+            if skipped:
+                self.stats.upload_skipped_bytes += skipped
+                obs.counter("replay.upload_skipped_bytes").inc(skipped)
         elif isinstance(action, act.WaitIrq):
             self.stats.irqs_waited += 1
             obs.counter("replay.irq_waits").inc()

@@ -13,6 +13,8 @@ registers.
 
 from __future__ import annotations
 
+import bisect
+import hashlib
 from typing import Dict, List, Optional, Set, Tuple
 
 from repro.errors import ReplayError, VerificationError
@@ -35,6 +37,9 @@ PTE_PATCH_NS = 120
 #: is why dumping all GPU memory is so much slower than re-executing
 #: (the Section 7.5 checkpoint-vs-reexecution trade-off).
 PAGE_SYNC_NS = 45 * US
+#: Cost of the content-hash comparison that proves an upload's bytes
+#: are already GPU-resident (the replay fast path's skip check).
+RESIDENT_CHECK_NS = 250
 
 
 class NanoGpuDriver:
@@ -54,15 +59,37 @@ class NanoGpuDriver:
         self._fmt = gpu.mmu.fmt  # the replayer's own SKU format
         self._pt: Optional[PageTableBuilder] = None
         self._regions: Dict[int, Tuple[List[int], int]] = {}
+        #: GPU-resident dump state: upload VA -> (content digest, size).
+        #: Entries are dropped whenever the bytes underneath might have
+        #: changed (unmap, fresh map, CPU writes, memory release).
+        self._resident: Dict[int, Tuple[str, int]] = {}
+        #: Sorted resident base addresses + the largest resident dump,
+        #: so the per-GPU-write overlap check is a bisect, not a scan.
+        self._resident_bases: List[int] = []
+        self._resident_max = 0
         self._irq_count = 0
         self._irq_connected = False
         self.in_irq_context = False
         self.reg_io_count = 0
+        self._reg_fingerprint: Optional[str] = None
 
     # -- register map (the §5.1 name->address resolution) -----------------------
 
     def register_names(self) -> Set[str]:
         return set(self._reg_offsets)
+
+    def register_map_fingerprint(self) -> str:
+        """Content digest of this board's register map: the MMIO base
+        plus every (name, offset) pair. Two drivers with equal
+        fingerprints verify and compile recordings identically, so the
+        fingerprint keys the content-addressed load cache."""
+        if self._reg_fingerprint is None:
+            h = hashlib.sha256()
+            h.update(f"{self.family}:{self.mmio_base:#x}".encode())
+            for name in sorted(self._reg_offsets):
+                h.update(f"|{name}={self._reg_offsets[name]:#x}".encode())
+            self._reg_fingerprint = h.hexdigest()
+        return self._reg_fingerprint
 
     def resolve(self, reg: str) -> int:
         offset = self._reg_offsets.get(reg)
@@ -72,25 +99,41 @@ class NanoGpuDriver:
         return self.mmio_base + offset
 
     def reg_read(self, reg: str) -> int:
-        self.clock.advance(MMIO_ACCESS_NS)
-        self.reg_io_count += 1
-        return self.machine.mmio.read(self.resolve(reg))
+        return self.reg_read_at(self.resolve(reg))
 
     def reg_write(self, reg: str, value: int,
                   mask: int = 0xFFFFFFFF) -> None:
+        self.reg_write_at(self.resolve(reg), value, mask)
+
+    def reg_poll(self, reg: str, mask: int, value: int,
+                 timeout_ns: int) -> bool:
+        return self.reg_poll_at(self.resolve(reg), mask, value,
+                                timeout_ns)
+
+    # Pre-resolved variants: compiled action programs resolve register
+    # names once at compile time and hit MMIO by absolute address on
+    # the hot loop. Timing and accounting are identical to the named
+    # variants -- the name lookup itself costs no virtual time.
+
+    def reg_read_at(self, addr: int) -> int:
         self.clock.advance(MMIO_ACCESS_NS)
         self.reg_io_count += 1
-        addr = self.resolve(reg)
+        return self.machine.mmio.read(addr)
+
+    def reg_write_at(self, addr: int, value: int,
+                     mask: int = 0xFFFFFFFF) -> None:
+        self.clock.advance(MMIO_ACCESS_NS)
+        self.reg_io_count += 1
         if mask != 0xFFFFFFFF:
             current = self.machine.mmio.read(addr)
             value = (current & ~mask) | (value & mask)
         self.machine.mmio.write(addr, value)
 
-    def reg_poll(self, reg: str, mask: int, value: int,
-                 timeout_ns: int) -> bool:
+    def reg_poll_at(self, addr: int, mask: int, value: int,
+                    timeout_ns: int) -> bool:
         deadline = self.clock.now() + timeout_ns
         while True:
-            if (self.reg_read(reg) & mask) == value:
+            if (self.reg_read_at(addr) & mask) == value:
                 return True
             if self.clock.now() >= deadline:
                 return False
@@ -157,6 +200,9 @@ class NanoGpuDriver:
             self.clear_irq_state()
             self._family_reset()
             self.release_memory()
+        # Observe GPU-side writes so resident-dump tracking never
+        # claims bytes the GPU itself has since overwritten.
+        self.machine.gpu.mmu.write_observer = self._drop_resident
 
     def soft_reset(self) -> None:
         """Reset without touching replayer memory state (recovery path)."""
@@ -276,6 +322,7 @@ class NanoGpuDriver:
             pt.map_page(va + i * PAGE_SIZE, pa, perms)
         self.clock.advance(PTE_PATCH_NS * num_pages)
         self._regions[va] = (pas, num_pages)
+        self._drop_resident(va, num_pages * PAGE_SIZE)
 
     def unmap_gpu_mem(self, va: int, num_pages: int) -> None:
         entry = self._regions.pop(va, None)
@@ -287,6 +334,7 @@ class NanoGpuDriver:
         for i in range(mapped_pages):
             pt.unmap_page(va + i * PAGE_SIZE)
         self.machine.gpu_allocator.free_pages(pas)
+        self._drop_resident(va, mapped_pages * PAGE_SIZE)
 
     def set_gpu_pgtable(self, memattr: int) -> None:
         root = self._require_pt().root_pa
@@ -330,12 +378,69 @@ class NanoGpuDriver:
             remaining -= chunk
         return bytes(out)
 
-    def upload(self, va: int, data: bytes) -> None:
+    # -- resident-dump tracking (the replay fast path) ------------------------------------
+
+    def _drop_resident(self, va: int, size: int) -> None:
+        """Forget resident dumps overlapping [va, va+size).
+
+        Called on every GPU-side store via the MMU write observer, so
+        it must be cheap when nothing overlaps: a sorted index of base
+        addresses narrows the scan to entries that could start inside
+        ``[va - largest_dump, va + size)``, instead of walking every
+        resident entry per write.
+        """
+        if not self._resident:
+            return
+        end = va + size
+        bases = self._resident_bases
+        lo = bisect.bisect_left(bases, va - self._resident_max + 1)
+        hi = bisect.bisect_left(bases, end)
+        if lo >= hi:
+            return
+        stale = [base for base in bases[lo:hi]
+                 if va < base + self._resident[base][1]]
+        for base in stale:
+            del self._resident[base]
+            bases.remove(base)
+
+    def resident_digest(self, va: int) -> Optional[str]:
+        """The content digest resident at ``va``, if any (debug/CLI)."""
+        entry = self._resident.get(va)
+        return entry[0] if entry is not None else None
+
+    def forget_resident(self) -> None:
+        """Drop all resident-dump knowledge, forcing the next replay to
+        re-upload everything (benchmark baselines, paranoia mode)."""
+        self._resident.clear()
+        self._resident_bases.clear()
+        self._resident_max = 0
+
+    def upload(self, va: int, data: bytes,
+               digest: Optional[str] = None) -> int:
+        """Load dump bytes at ``va``; returns the bytes actually moved.
+
+        When ``digest`` (or the computed content hash) matches what a
+        previous upload left at the same address -- and nothing has
+        dirtied the range since -- the copy is skipped entirely: the
+        bytes are already GPU-resident. Repeated replays of one
+        recording and §5.4 delay-injection retries hit this path.
+        """
+        if digest is None:
+            digest = hashlib.sha256(data).hexdigest()
+        if self._resident.get(va) == (digest, len(data)):
+            self.clock.advance(RESIDENT_CHECK_NS)
+            return 0
         self.clock.advance(max(1, len(data) * SEC // UPLOAD_BW))
+        self._drop_resident(va, len(data))
         self._cpu_access(va, len(data), data)
+        self._resident[va] = (digest, len(data))
+        bisect.insort(self._resident_bases, va)
+        self._resident_max = max(self._resident_max, len(data))
+        return len(data)
 
     def copy_to_gpu(self, gaddr: int, data: bytes) -> None:
         self.clock.advance(max(1, len(data) * SEC // UPLOAD_BW))
+        self._drop_resident(gaddr, len(data))
         self._cpu_access(gaddr, len(data), data)
 
     def copy_from_gpu(self, gaddr: int, size: int) -> bytes:
@@ -362,6 +467,7 @@ class NanoGpuDriver:
     def restore_memory(self, snapshot: Dict[int, bytes]) -> None:
         total_pages = 0
         for va, data in snapshot.items():
+            self._drop_resident(va, len(data))
             self._cpu_access(va, len(data), data)
             total_pages += (len(data) + PAGE_SIZE - 1) // PAGE_SIZE
         self.clock.advance(max(1, self.mapped_bytes() * SEC // UPLOAD_BW)
@@ -371,6 +477,7 @@ class NanoGpuDriver:
 
     def release_memory(self) -> None:
         """Free every mapped region and the page tables themselves."""
+        self.forget_resident()
         for va in list(self._regions):
             pas, pages = self._regions.pop(va)
             if self._pt is not None:
@@ -384,3 +491,6 @@ class NanoGpuDriver:
     def release(self) -> None:
         self.release_memory()
         self.disconnect_irq()
+        mmu = self.machine.gpu.mmu
+        if mmu.write_observer is self._drop_resident:
+            mmu.write_observer = None

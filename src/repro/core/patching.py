@@ -64,6 +64,9 @@ def patch_recording_for_sku(recording: Recording, target_sku: str,
             "relocation and GPU memory compaction (Section 6.4)")
 
     patched = copy.deepcopy(recording)
+    # The copy is about to be mutated; its content digest must be
+    # recomputed, not inherited from the source recording.
+    patched._digest = None
     report = PatchReport(source_sku=source_name, target_sku=target_sku)
     source_fmt = PTE_FORMATS[source.pte_format]
     target_fmt = PTE_FORMATS[target.pte_format]

@@ -14,6 +14,7 @@ replayer needs nothing else.
 
 from __future__ import annotations
 
+import hashlib
 import struct
 import zlib
 from dataclasses import dataclass, field
@@ -77,6 +78,23 @@ class Recording:
         self.meta = meta
         self.actions = actions
         self.dumps = dumps
+        self._digest: Optional[str] = None
+
+    # -- content addressing --------------------------------------------------
+
+    def digest(self) -> str:
+        """Stable content hash (hex SHA-256 of the uncompressed body).
+
+        Two recordings with identical metadata, actions and dumps have
+        the same digest regardless of compression, which file they
+        came from, or which process decoded them. The replay fast path
+        keys its load cache on it. Memoized: recordings are treated as
+        immutable once they reach the replayer (mutating passes such
+        as cross-SKU patching build new Recording objects).
+        """
+        if self._digest is None:
+            self._digest = hashlib.sha256(_encode_body(self)).hexdigest()
+        return self._digest
 
     # -- accounting ---------------------------------------------------------
 

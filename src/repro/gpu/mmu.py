@@ -217,14 +217,62 @@ class GpuMmu:
         self.enabled = False
         self._tlb: Dict[Tuple[int, str], int] = {}
         self.fault_count = 0
+        #: Optional observer of GPU-side VA writes: ``fn(va, size)``.
+        #: The replayer's nano driver subscribes so its GPU-resident
+        #: dump tracking sees buffers the GPU itself overwrites.
+        self.write_observer = None
+        #: Coherent-TLB mode. The simulated TLB is an implementation
+        #: cache, not architectural state: with shootdown, any physical
+        #: write to a page this MMU has walked tables from clears the
+        #: cache, so translations can never go stale and architectural
+        #: flush commands have nothing left to invalidate. Cached
+        #: translations then survive across replays, removing a full
+        #: page-table walk per touched page per replay. Set False to
+        #: get the historical behaviour (flush commands discard the
+        #: TLB) -- the replay fast-path benchmark does, to measure the
+        #: pre-optimization baseline.
+        self.coherent_tlb = True
+        self._table_pages: set = set()
+        self._subscribe(memory)
+
+    def _subscribe(self, memory: PhysicalMemory) -> None:
+        prev = memory.write_hook
+        if prev is None:
+            memory.write_hook = self._on_phys_write
+        else:
+            def chained(pa: int, size: int,
+                        _prev=prev, _mine=self._on_phys_write) -> None:
+                _prev(pa, size)
+                _mine(pa, size)
+            memory.write_hook = chained
+
+    def _on_phys_write(self, pa: int, size: int) -> None:
+        """Shootdown: a write landed in a page-table page we walked."""
+        tables = self._table_pages
+        if not tables or not self.coherent_tlb:
+            return
+        first = pa >> 12
+        last = (pa + size - 1) >> 12
+        if first in tables or (last != first and any(
+                page in tables for page in range(first + 1, last + 1))):
+            self._tlb.clear()
+            tables.clear()
 
     def set_base(self, base_pa: int) -> None:
+        changed = base_pa != self.base_pa
         self.base_pa = base_pa
         self.enabled = base_pa != 0
-        self.flush_tlb()
+        if changed or not self.coherent_tlb:
+            self._tlb.clear()
+            self._table_pages.clear()
 
     def flush_tlb(self) -> None:
+        if self.coherent_tlb:
+            # Shootdown keeps the cache coherent with table memory;
+            # the architectural flush has nothing to invalidate.
+            return
         self._tlb.clear()
+        self._table_pages.clear()
 
     def translate(self, va: int, access: str) -> int:
         """Translate one VA; raises :class:`GpuPageFault` on failure."""
@@ -254,24 +302,39 @@ class GpuMmu:
             if not perms & needed:
                 self.fault_count += 1
                 raise GpuPageFault(va, access, "permission denied")
+        self._table_pages.add(self.base_pa >> 12)
+        self._table_pages.add(l1_pa >> 12)
         self._tlb[(page_va, access)] = pa
         return pa | offset
 
     # -- bulk access (gather/scatter across non-contiguous pages) ----------
 
     def read_va(self, va: int, size: int, access: str = "r") -> bytes:
-        out = bytearray()
+        # Page-at-a-time gather. The TLB probe is inlined: the shader
+        # cores stream entire weight tensors through here, so the
+        # per-page constant factor is the GPU model's hot path.
+        tlb = self._tlb
+        mem_read = self.memory.read
+        page_mask = PAGE_SIZE - 1
+        chunks = []
         cursor = va
         remaining = size
         while remaining > 0:
-            pa = self.translate(cursor, access)
-            chunk = min(remaining, PAGE_SIZE - (cursor & (PAGE_SIZE - 1)))
-            out += self.memory.read(pa, chunk)
+            offset = cursor & page_mask
+            chunk = min(remaining, PAGE_SIZE - offset)
+            base = tlb.get((cursor - offset, access))
+            if base is None:
+                pa = self.translate(cursor, access)
+            else:
+                pa = base | offset
+            chunks.append(mem_read(pa, chunk))
             cursor += chunk
             remaining -= chunk
-        return bytes(out)
+        return b"".join(chunks)
 
     def write_va(self, va: int, data: bytes) -> None:
+        if self.write_observer is not None:
+            self.write_observer(va, len(data))
         cursor = va
         offset = 0
         while offset < len(data):

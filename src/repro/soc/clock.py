@@ -129,6 +129,14 @@ class VirtualClock:
             if target_ns > self._now_ns:
                 self._now_ns = target_ns
             return
+        heap = self._heap
+        if not heap or (heap[0].due_ns > target_ns
+                        and not heap[0].cancelled):
+            # Nothing due inside the window -- the overwhelmingly
+            # common case for small CPU-side advances.
+            if target_ns > self._now_ns:
+                self._now_ns = target_ns
+            return
         self._draining = True
         try:
             while True:

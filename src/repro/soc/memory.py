@@ -32,11 +32,26 @@ class PhysicalMemory:
                 f"memory size must be a positive multiple of {PAGE_SIZE}")
         self.size = size_bytes
         self._pages: Dict[int, bytearray] = {}
+        #: Optional observer of physical writes: ``fn(pa, length)``,
+        #: called before the bytes land. The GPU MMU subscribes so it
+        #: can shoot down TLB entries when page-table pages change
+        #: (see :attr:`repro.gpu.mmu.GpuMmu.coherent_tlb`).
+        self.write_hook = None
 
     # -- raw access --------------------------------------------------------
 
     def read(self, pa: int, length: int) -> bytes:
         """Read ``length`` bytes at physical address ``pa``."""
+        page_index, page_offset = divmod(pa, PAGE_SIZE)
+        if page_offset + length <= PAGE_SIZE:
+            # Single-page read: the unit every MMU-mediated bulk access
+            # decomposes into, worth keeping allocation-free and loopless.
+            if pa < 0 or length < 0 or pa + length > self.size:
+                self._check_range(pa, length)
+            page = self._pages.get(page_index)
+            if page is None:
+                return bytes(length)
+            return bytes(page[page_offset:page_offset + length])
         self._check_range(pa, length)
         out = bytearray(length)
         offset = 0
@@ -52,6 +67,8 @@ class PhysicalMemory:
     def write(self, pa: int, data: bytes) -> None:
         """Write ``data`` at physical address ``pa``."""
         self._check_range(pa, len(data))
+        if self.write_hook is not None:
+            self.write_hook(pa, len(data))
         offset = 0
         length = len(data)
         while offset < length:

@@ -300,6 +300,28 @@ def autoencoder() -> ModelSpec:
                      description="dense autoencoder, 64-dim input")
 
 
+def dense_serve() -> ModelSpec:
+    """Classifier-head serve workload with full-size weights.
+
+    The rest of the zoo shrinks parameter counts ~100x (virtual time
+    compensates), which also shrinks the recordings' memory dumps to a
+    few KB per job. This model keeps realistic weight bytes -- several
+    MB across three dense layers -- so the replay fast-path benchmark
+    can measure what resident-dump skipping actually saves: the
+    wall-clock cost of re-uploading megabytes of weights per replay.
+    """
+    layers = [
+        LayerSpec("flat", "flatten"),
+        _dense("fc1", 1024, act="relu"),
+        _dense("fc2", 256, act="relu"),
+        _dense("logits", 64),
+        LayerSpec("prob", "softmax"),
+    ]
+    return ModelSpec("dense-serve", (1, 32, 32), layers,
+                     description="full-weight dense classifier head "
+                                 "(steady-state serve loop)")
+
+
 MODEL_ZOO: Dict[str, Callable[[], ModelSpec]] = {
     "mnist": mnist,
     "lenet5": lenet5,
@@ -314,6 +336,7 @@ MODEL_ZOO: Dict[str, Callable[[], ModelSpec]] = {
     "kws": kws_mlp,
     "har": har_mlp,
     "autoencoder": autoencoder,
+    "dense-serve": dense_serve,
 }
 
 

@@ -11,6 +11,11 @@ Subcommands::
     grr stats <file> [--json]             replay + print the metrics
                                           snapshot (counters/gauges/
                                           histograms)
+    grr inspect <file> [--digest] [--dumps]  content addressing: the
+                                          recording digest the load
+                                          cache keys on, per-dump hashes
+    grr bench [--json] [--check PIN]      replay fast-path benchmark
+                                          (no recording file needed)
 
 Runs entirely offline on the recording file; ``verify`` builds the
 target board's machine only to obtain its register map, and ``trace``/
@@ -259,6 +264,58 @@ def cmd_stats(args) -> int:
     return 0
 
 
+def cmd_inspect(args) -> int:
+    """Content-addressing view: recording digest, per-dump hashes."""
+    recording = _load(args.file)
+    if args.digest and not args.dumps:
+        print(recording.digest())
+        return 0
+    print(f"recording: {args.file}")
+    print(f"  digest: {recording.digest()}")
+    print(f"  actions: {len(recording.actions)}  "
+          f"dumps: {len(recording.dumps)} "
+          f"({fmt_bytes(recording.dump_bytes())})")
+    if args.dumps:
+        for index, dump in enumerate(recording.dumps):
+            print(f"  dump #{index:<3} va {dump.va:#010x} "
+                  f"{fmt_bytes(dump.size):>10}  sha256 {dump.digest}")
+    return 0
+
+
+def cmd_bench(args) -> int:
+    """Run the replay fast-path benchmark; optionally guard a pin."""
+    import json as json_mod
+
+    from repro.bench.experiments import measure_fastpath, replay_fastpath
+
+    if args.json or args.check:
+        measured = measure_fastpath(family=args.family, model_name=args.model,
+                                    replays=args.replays)
+        if args.json:
+            print(json_mod.dumps(measured, indent=2, sort_keys=True))
+        if args.check:
+            with open(args.check) as handle:
+                pinned = json_mod.load(handle)
+            failures = []
+            for metric in ("warm_load_speedup", "replay_speedup"):
+                floor = pinned[metric] * (1 - args.tolerance)
+                got = measured[metric]
+                status = "ok" if got >= floor else "REGRESSION"
+                print(f"{metric}: {got:.2f} (pinned {pinned[metric]:.2f}, "
+                      f"floor {floor:.2f}) {status}", file=sys.stderr)
+                if got < floor:
+                    failures.append(metric)
+            if failures:
+                print(f"error: fast-path regression in "
+                      f"{', '.join(failures)} (>"
+                      f"{args.tolerance:.0%} below pin)", file=sys.stderr)
+                return 1
+        return 0
+    print(replay_fastpath(family=args.family, model_name=args.model,
+                          replays=args.replays).render())
+    return 0
+
+
 def cmd_patch(args) -> int:
     recording = _load(args.file)
     patched, report = patch_recording_for_sku(
@@ -323,6 +380,33 @@ def build_parser() -> argparse.ArgumentParser:
     stats.add_argument("--json", action="store_true",
                        help="machine-readable output")
     stats.set_defaults(func=cmd_stats)
+
+    inspect = sub.add_parser(
+        "inspect", help="content addressing: digests of the recording "
+        "and its dumps")
+    inspect.add_argument("file")
+    inspect.add_argument("--digest", action="store_true",
+                         help="print only the recording digest")
+    inspect.add_argument("--dumps", action="store_true",
+                         help="per-dump VA, size and content hash")
+    inspect.set_defaults(func=cmd_inspect)
+
+    bench = sub.add_parser(
+        "bench", help="replay fast-path benchmark (load cache, "
+        "compiled dispatch, resident dumps)")
+    bench.add_argument("--family", default="mali")
+    bench.add_argument("--model", default="dense-serve")
+    bench.add_argument("--replays", type=int, default=20)
+    bench.add_argument("--json", action="store_true",
+                       help="machine-readable output "
+                       "(the BENCH_replay_fastpath.json format)")
+    bench.add_argument("--check", default=None, metavar="PINNED_JSON",
+                       help="compare against a pinned result; exit 1 "
+                       "if a guarded ratio regressed")
+    bench.add_argument("--tolerance", type=float, default=0.2,
+                       help="allowed fraction below the pin "
+                       "(default 0.2)")
+    bench.set_defaults(func=cmd_bench)
 
     patch = sub.add_parser("patch", help="cross-SKU patch (Mali)")
     patch.add_argument("file")

@@ -1,0 +1,89 @@
+"""Differential tests: compiled fast path == reference interpreter.
+
+The compiled executor is required to be a pure performance transform.
+For every GPU family, with observability enabled or disabled, a replay
+through the fast path must produce byte-identical outputs, identical
+interpreter statistics, identical virtual timing, and (with obs on) an
+identical timeline event stream -- including repeat replays, where the
+fast path skips resident uploads that the reference interpreter skips
+too (residency lives in the nano driver, not the executor).
+"""
+
+import numpy as np
+import pytest
+
+from repro.bench.workloads import (fresh_replay_machine, get_recorded,
+                                   model_input)
+from repro.core.compiled import CompiledProgram
+from repro.core.replayer import Replayer
+
+FAMILY_MODELS = [("mali", "mnist"), ("v3d", "mnist"), ("adreno", "mnist")]
+
+
+def run_arm(family, model, fast, obs_on, replays=3, seed=900):
+    """One replay arm: a fresh machine replaying ``replays`` inputs."""
+    workload, _stack = get_recorded(family, model)
+    machine = fresh_replay_machine(family, seed=seed)
+    if obs_on:
+        from repro.obs import enable_observability
+        enable_observability(machine)
+    replayer = Replayer(machine, fast_path=fast)
+    replayer.init()
+    replayer.load(workload.recording)
+    results = []
+    for i in range(replays):
+        x = model_input(model, seed=10 + i)
+        results.append(replayer.replay(inputs={"input": x}))
+    return machine, replayer, results
+
+
+class TestDifferential:
+    @pytest.mark.parametrize("family,model", FAMILY_MODELS)
+    @pytest.mark.parametrize("obs_on", [False, True],
+                             ids=["obs-off", "obs-on"])
+    def test_fast_path_equals_reference(self, family, model, obs_on):
+        _m_ref, _r_ref, ref = run_arm(family, model, fast=False,
+                                      obs_on=obs_on)
+        _m_fast, r_fast, fast = run_arm(family, model, fast=True,
+                                        obs_on=obs_on)
+        # The fast arm really took the compiled path.
+        assert isinstance(r_fast.program, CompiledProgram)
+        assert r_fast._executor is not None
+        for a, b in zip(ref, fast):
+            assert a.outputs.keys() == b.outputs.keys()
+            for name in a.outputs:
+                assert np.array_equal(a.outputs[name], b.outputs[name])
+            assert a.stats == b.stats
+            assert a.duration_ns == b.duration_ns
+            assert a.startup_ns == b.startup_ns
+            assert a.attempts == b.attempts
+
+    @pytest.mark.parametrize("family,model", FAMILY_MODELS)
+    def test_timeline_event_streams_identical(self, family, model):
+        m_ref, _r_ref, _ = run_arm(family, model, fast=False, obs_on=True)
+        m_fast, _r_fast, _ = run_arm(family, model, fast=True, obs_on=True)
+        ref_events = m_ref.obs.to_chrome_trace()["traceEvents"]
+        fast_events = m_fast.obs.to_chrome_trace()["traceEvents"]
+        assert ref_events == fast_events
+
+    def test_obs_on_off_virtual_times_agree(self):
+        """Observability must not perturb the fast path's virtual time."""
+        _m_off, _r_off, off = run_arm("mali", "mnist", fast=True,
+                                      obs_on=False)
+        _m_on, _r_on, on = run_arm("mali", "mnist", fast=True, obs_on=True)
+        for a, b in zip(off, on):
+            assert a.duration_ns == b.duration_ns
+            assert a.stats == b.stats
+
+    def test_repeat_replays_skip_uploads_identically(self):
+        """Upload skipping is driver state: both executors see it."""
+        _m_ref, _r_ref, ref = run_arm("mali", "mnist", fast=False,
+                                      obs_on=False)
+        _m_fast, _r_fast, fast = run_arm("mali", "mnist", fast=True,
+                                         obs_on=False)
+        assert ref[0].stats.upload_skipped_bytes == 0
+        assert ref[1].stats.upload_skipped_bytes > 0
+        for a, b in zip(ref, fast):
+            assert a.stats.upload_skipped_bytes == \
+                b.stats.upload_skipped_bytes
+            assert a.stats.upload_bytes == b.stats.upload_bytes

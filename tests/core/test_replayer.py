@@ -129,6 +129,52 @@ class TestFailureRecovery:
                             max_attempts=2)
         assert "attempts" in str(info.value)
 
+    def test_delay_window_and_resident_skips_on_retry(
+            self, mali_mnist_recorded):
+        """Section 5.4 end-to-end: two failed attempts, then a retry
+        with delays injected in ``[k - 32, k + 1)`` around the failure
+        site -- and the retry re-uses GPU-resident dumps instead of
+        re-uploading them."""
+        from repro.core.replayer import recovery_delay_window
+        workload, _ = mali_mnist_recorded
+        machine = fresh_replay_machine("mali", seed=149)
+        replayer = Replayer(machine)
+        replayer.init()
+        replayer.load(workload.recording)
+        injector = FaultInjector(machine.gpu)
+        injector.offline_cores(0xFF)  # every job fails until restored
+
+        # Heal the hardware right before the second recovery reset:
+        # attempt 1 fails (reset 1 fails too -- the GPU is still sick),
+        # attempt 2 fails, then reset 2 works and attempt 3 -- the
+        # delay-injection attempt of §5.4 -- succeeds deterministically.
+        resets = []
+        original_reset = replayer.nano.soft_reset
+
+        def healing_reset():
+            resets.append(machine.clock.now())
+            if len(resets) >= 2:
+                injector.restore_cores()
+            original_reset()
+
+        replayer.nano.soft_reset = healing_reset
+        x = model_input("mnist", seed=13)
+        result = replayer.replay(inputs={"input": x})
+        assert result.attempts == 3
+        # The delay window bracketed the failing action per §5.4.
+        assert replayer.last_delay_range is not None
+        lo, hi = replayer.last_delay_range
+        fail_at = hi - 1
+        assert replayer.last_delay_range == recovery_delay_window(fail_at)
+        assert 0 <= lo <= fail_at < len(workload.recording.actions)
+        # The successful retry skipped dumps still GPU-resident from
+        # the failed attempts instead of re-uploading everything.
+        assert result.stats.upload_skipped_bytes > 0
+        # And it still computes the right answer.
+        expected = run_reference(build_model("mnist"), x, fuse=False)
+        assert np.array_equal(result.output,
+                              expected.reshape(result.output.shape))
+
     def test_pte_corruption_detected_and_recovered(
             self, mali_alexnet_recorded):
         workload, _ = mali_alexnet_recorded

@@ -171,15 +171,45 @@ class TestGpuMmu:
         mmu.write_va(0x100100, data)
         assert mmu.read_va(0x100100, len(data)) == data
 
-    def test_tlb_caches_and_flushes(self, memory, allocator):
+    def test_coherent_tlb_shootdown_on_table_write(self, memory, allocator):
         pt, mmu = self.build(memory, allocator)
         pa = allocator.alloc_page()
         pt.map_page(0x100000, pa, PERM_R)
         mmu.translate(0x100000, "r")
-        # Corrupt the live table; the stale TLB still translates...
+        # Rewriting the live table shoots the cached translation down
+        # immediately -- no architectural flush needed.
+        pt.unmap_page(0x100000)
+        with pytest.raises(GpuPageFault):
+            mmu.translate(0x100000, "r")
+
+    def test_noncoherent_tlb_stale_until_flush(self, memory, allocator):
+        pt, mmu = self.build(memory, allocator)
+        mmu.coherent_tlb = False
+        pa = allocator.alloc_page()
+        pt.map_page(0x100000, pa, PERM_R)
+        mmu.translate(0x100000, "r")
+        # Historical behaviour: the stale TLB still translates...
         pt.unmap_page(0x100000)
         assert mmu.translate(0x100000, "r") == pa
         # ...until the TLB is flushed.
         mmu.flush_tlb()
         with pytest.raises(GpuPageFault):
             mmu.translate(0x100000, "r")
+
+    def test_coherent_tlb_survives_architectural_flush(self, memory,
+                                                       allocator):
+        pt, mmu = self.build(memory, allocator)
+        pa = allocator.alloc_page()
+        pt.map_page(0x100000, pa, PERM_R)
+        assert mmu.translate(0x100000, "r") == pa
+        mmu.flush_tlb()  # no table write happened: nothing to invalidate
+        assert mmu._tlb
+        assert mmu.translate(0x100000, "r") == pa
+
+    def test_set_base_change_drops_translations(self, memory, allocator):
+        pt, mmu = self.build(memory, allocator)
+        pa = allocator.alloc_page()
+        pt.map_page(0x100000, pa, PERM_R)
+        mmu.translate(0x100000, "r")
+        mmu.set_base(allocator.alloc_page())  # different address space
+        assert not mmu._tlb
