@@ -198,6 +198,7 @@ class CompiledExecutor:
         self._actions_track = self.obs.track("replay", "actions")
         self._jobs_track = self.obs.track("replay", "jobs")
         self._job_span = None
+        self._flight = nano.flight
         self._steps: List[Callable[[int], None]] = [
             self._build_step(i) for i in range(len(program))]
 
@@ -434,6 +435,9 @@ class CompiledExecutor:
             # already in GPU memory from the original attempt.
             deposit_inputs = None
 
+        flight = self._flight
+        flight_record = flight.record
+
         # Loop-local accumulators, written back in ``finally`` so a
         # divergence mid-stream leaves stats as the reference path
         # would.
@@ -442,6 +446,7 @@ class CompiledExecutor:
         last_end = clock_now()
         try:
             for index in range(start_index, len(steps)):
+                flight.action_index = index
                 if should_yield is not None and should_yield():
                     raise ReplayAborted("preempted by the environment",
                                         index, srcs[index])
@@ -461,6 +466,7 @@ class CompiledExecutor:
                     pacing_total += wait
                     if emit:
                         pacing_ctr.inc(wait)
+                    flight_record(now, "Pacing", (wait,))
                     t_start = target
                     clock_advance(wait + ACTION_OVERHEAD_NS)
                 else:
@@ -481,6 +487,8 @@ class CompiledExecutor:
                         if stats.first_kick_at_ns < 0:
                             stats.first_kick_at_ns = clock_now()
                         stats.jobs_kicked += 1
+                        flight_record(clock_now(), "JobKick",
+                                      (stats.jobs_kicked - 1,))
                         if self._job_span is not None:
                             obs.end(self._job_span)
                         self._job_span = obs.begin(
@@ -497,6 +505,13 @@ class CompiledExecutor:
                     deposit_inputs()
                     deposit_inputs = None
                     last_end = clock_now()
+        except BaseException:
+            # Mirror the reference interpreter's span hygiene: a
+            # failed replay must not leak an open job span.
+            if self._job_span is not None:
+                obs.end(self._job_span)
+                self._job_span = None
+            raise
         finally:
             stats.actions_executed += executed
             stats.pacing_wait_ns += pacing_total

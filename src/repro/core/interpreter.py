@@ -89,6 +89,7 @@ class ReplayInterpreter:
         last_end = clock.now()
         actions = self.recording.actions
         prologue_len = self.recording.meta.prologue_len
+        flight = self.nano.flight
         job_in_flight = False
 
         if start_index > 0 and deposit_inputs is not None:
@@ -96,60 +97,75 @@ class ReplayInterpreter:
             # already in GPU memory from the original attempt.
             deposit_inputs = None
 
-        for index in range(start_index, len(actions)):
-            action = actions[index]
-            if self.should_yield is not None and self.should_yield():
-                raise ReplayAborted("preempted by the environment",
-                                    index, action.src)
+        try:
+            for index in range(start_index, len(actions)):
+                action = actions[index]
+                flight.action_index = index
+                if self.should_yield is not None and self.should_yield():
+                    raise ReplayAborted("preempted by the environment",
+                                        index, action.src)
 
-            interval = (action.recorded_interval_ns
-                        if self.options.use_recorded_intervals
-                        else action.min_interval_ns)
-            delay_range = self.options.extra_delay_range
-            if delay_range is None or \
-                    delay_range[0] <= index < delay_range[1]:
-                interval += self.options.extra_delay_ns
-            target = last_end + interval
-            if target > clock.now():
-                wait = target - clock.now()
-                self.stats.pacing_wait_ns += wait
-                self._obs.counter("replay.pacing_wait_ns").inc(wait)
-                clock.advance(wait)
-            t_start = clock.now()
-            clock.advance(ACTION_OVERHEAD_NS)
+                interval = (action.recorded_interval_ns
+                            if self.options.use_recorded_intervals
+                            else action.min_interval_ns)
+                delay_range = self.options.extra_delay_range
+                if delay_range is None or \
+                        delay_range[0] <= index < delay_range[1]:
+                    interval += self.options.extra_delay_ns
+                target = last_end + interval
+                if target > clock.now():
+                    wait = target - clock.now()
+                    self.stats.pacing_wait_ns += wait
+                    self._obs.counter("replay.pacing_wait_ns").inc(wait)
+                    # Recorded before the advance so events firing
+                    # during the wait land after the decision -- the
+                    # compiled path does the same.
+                    flight.record(clock.now(), "Pacing", (wait,))
+                    clock.advance(wait)
+                t_start = clock.now()
+                clock.advance(ACTION_OVERHEAD_NS)
 
-            self._execute_one(action, index)
-            self.stats.actions_executed += 1
-            self._obs.counter("replay.actions").inc()
-            self._obs.complete(
-                type(action).__name__, self._actions_track, t_start,
-                clock.now(), cat="replay-action",
-                args={"index": index, "src": action.src})
-            if isinstance(action, act.RegWrite) and action.is_job_kick:
-                if self.stats.first_kick_at_ns < 0:
-                    self.stats.first_kick_at_ns = clock.now()
-                self.stats.jobs_kicked += 1
-                job_in_flight = True
-                if self._job_span is not None:
-                    self._obs.end(self._job_span)
-                self._job_span = self._obs.begin(
-                    f"job[{self.stats.jobs_kicked - 1}]",
-                    self._jobs_track, cat="replay-job",
-                    args={"index": index})
-            if isinstance(action, act.IrqExit):
-                job_in_flight = False
-                if self._job_span is not None:
-                    self._obs.end(self._job_span)
-                    self._job_span = None
-                if self.checkpoints is not None and not job_in_flight:
-                    self.checkpoints.maybe_take(index + 1,
-                                                self.stats.jobs_kicked)
-            last_end = clock.now()
-
-            if deposit_inputs is not None and index == prologue_len - 1:
-                deposit_inputs()
-                deposit_inputs = None
+                self._execute_one(action, index)
+                self.stats.actions_executed += 1
+                self._obs.counter("replay.actions").inc()
+                self._obs.complete(
+                    type(action).__name__, self._actions_track, t_start,
+                    clock.now(), cat="replay-action",
+                    args={"index": index, "src": action.src})
+                if isinstance(action, act.RegWrite) and action.is_job_kick:
+                    if self.stats.first_kick_at_ns < 0:
+                        self.stats.first_kick_at_ns = clock.now()
+                    self.stats.jobs_kicked += 1
+                    flight.record(clock.now(), "JobKick",
+                                  (self.stats.jobs_kicked - 1,))
+                    job_in_flight = True
+                    if self._job_span is not None:
+                        self._obs.end(self._job_span)
+                    self._job_span = self._obs.begin(
+                        f"job[{self.stats.jobs_kicked - 1}]",
+                        self._jobs_track, cat="replay-job",
+                        args={"index": index})
+                if isinstance(action, act.IrqExit):
+                    job_in_flight = False
+                    if self._job_span is not None:
+                        self._obs.end(self._job_span)
+                        self._job_span = None
+                    if self.checkpoints is not None and not job_in_flight:
+                        self.checkpoints.maybe_take(index + 1,
+                                                    self.stats.jobs_kicked)
                 last_end = clock.now()
+
+                if deposit_inputs is not None and index == prologue_len - 1:
+                    deposit_inputs()
+                    deposit_inputs = None
+                    last_end = clock.now()
+        except BaseException:
+            # Divergence/timeout/abort mid-stream: the job span would
+            # otherwise leak open in the tracer forever.
+            if self._job_span is not None:
+                self._obs.end(self._job_span)
+                self._job_span = None
+            raise
 
         if deposit_inputs is not None:
             # Degenerate recording with no prologue: deposit up front.

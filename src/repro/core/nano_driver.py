@@ -72,6 +72,12 @@ class NanoGpuDriver:
         self.in_irq_context = False
         self.reg_io_count = 0
         self._reg_fingerprint: Optional[str] = None
+        # The machine's always-on flight recorder. The nano driver is
+        # the chokepoint both the interpreter and the compiled fast
+        # path funnel through, so recording here keeps the two paths'
+        # event streams identical by construction.
+        self.flight = machine.flight
+        self._in_poll = False
 
     # -- register map (the §5.1 name->address resolution) -----------------------
 
@@ -118,7 +124,11 @@ class NanoGpuDriver:
     def reg_read_at(self, addr: int) -> int:
         self.clock.advance(MMIO_ACCESS_NS)
         self.reg_io_count += 1
-        return self.machine.mmio.read(addr)
+        value = self.machine.mmio.read(addr)
+        if not self._in_poll:
+            self.flight.record(self.clock.now(), "RegRead",
+                               (addr, value))
+        return value
 
     def reg_write_at(self, addr: int, value: int,
                      mask: int = 0xFFFFFFFF) -> None:
@@ -128,17 +138,34 @@ class NanoGpuDriver:
             current = self.machine.mmio.read(addr)
             value = (current & ~mask) | (value & mask)
         self.machine.mmio.write(addr, value)
+        self.flight.record(self.clock.now(), "RegWrite",
+                           (addr, value, mask))
 
     def reg_poll_at(self, addr: int, mask: int, value: int,
                     timeout_ns: int) -> bool:
+        # One summarized flight event per poll, not one per read: a
+        # long poll would otherwise flush the whole ring.
         deadline = self.clock.now() + timeout_ns
-        while True:
-            if (self.reg_read_at(addr) & mask) == value:
-                return True
-            if self.clock.now() >= deadline:
-                return False
-            self.clock.advance(min(POLL_STEP_NS,
-                                   deadline - self.clock.now()))
+        self._in_poll = True
+        polls = 0
+        last = 0
+        try:
+            while True:
+                last = self.reg_read_at(addr)
+                polls += 1
+                if (last & mask) == value:
+                    ok = True
+                    break
+                if self.clock.now() >= deadline:
+                    ok = False
+                    break
+                self.clock.advance(min(POLL_STEP_NS,
+                                       deadline - self.clock.now()))
+        finally:
+            self._in_poll = False
+        self.flight.record(self.clock.now(), "RegPoll",
+                           (addr, mask, value, polls, ok, last))
+        return ok
 
     # -- interrupts ------------------------------------------------------------------
 
@@ -160,14 +187,20 @@ class NanoGpuDriver:
         self.machine.irq.ack(self.irq_number)
 
     def wait_irq(self, timeout_ns: int) -> bool:
-        deadline = self.clock.now() + timeout_ns
+        t0 = self.clock.now()
+        deadline = t0 + timeout_ns
+        ok = True
         while self._irq_count == 0:
             if self.clock.now() >= deadline:
-                return False
+                ok = False
+                break
             fired = self.clock.advance_to_next_event(limit_ns=deadline)
             if not fired and self._irq_count == 0:
-                return False
-        return True
+                ok = False
+                break
+        self.flight.record(self.clock.now(), "WaitIrq",
+                           (timeout_ns, ok, self.clock.now() - t0))
+        return ok
 
     @property
     def pending_irqs(self) -> int:
@@ -177,9 +210,11 @@ class NanoGpuDriver:
         if self._irq_count > 0:
             self._irq_count -= 1
         self.in_irq_context = True
+        self.flight.record(self.clock.now(), "IrqEnter")
 
     def exit_irq_context(self) -> None:
         self.in_irq_context = False
+        self.flight.record(self.clock.now(), "IrqExit")
 
     def clear_irq_state(self) -> None:
         self._irq_count = 0
@@ -194,6 +229,7 @@ class NanoGpuDriver:
         is the clean-handoff point between apps (Section 5.3: no data
         leaks across replayer sessions)."""
         obs = self.machine.obs
+        self.flight.record(self.clock.now(), "Reset", ("init",))
         with obs.span("nano:init-gpu", obs.track("replay", "nano"),
                       cat="nano", args={"family": self.family}):
             self.connect_irq()
@@ -208,6 +244,7 @@ class NanoGpuDriver:
         """Reset without touching replayer memory state (recovery path)."""
         obs = self.machine.obs
         obs.counter("nano.resets").inc()
+        self.flight.record(self.clock.now(), "Reset", ("soft",))
         with obs.span("nano:reset", obs.track("replay", "nano"),
                       cat="nano"):
             self._family_reset()
@@ -323,6 +360,7 @@ class NanoGpuDriver:
         self.clock.advance(PTE_PATCH_NS * num_pages)
         self._regions[va] = (pas, num_pages)
         self._drop_resident(va, num_pages * PAGE_SIZE)
+        self.flight.record(self.clock.now(), "MemMap", (va, num_pages))
 
     def unmap_gpu_mem(self, va: int, num_pages: int) -> None:
         entry = self._regions.pop(va, None)
@@ -335,8 +373,11 @@ class NanoGpuDriver:
             pt.unmap_page(va + i * PAGE_SIZE)
         self.machine.gpu_allocator.free_pages(pas)
         self._drop_resident(va, mapped_pages * PAGE_SIZE)
+        self.flight.record(self.clock.now(), "MemUnmap",
+                           (va, mapped_pages))
 
     def set_gpu_pgtable(self, memattr: int) -> None:
+        self.flight.record(self.clock.now(), "SetPgtable", (memattr,))
         root = self._require_pt().root_pa
         if self.family == "mali":
             self.reg_write("AS0_TRANSTAB_LO", root & 0xFFFFFFFF)
@@ -429,6 +470,8 @@ class NanoGpuDriver:
             digest = hashlib.sha256(data).hexdigest()
         if self._resident.get(va) == (digest, len(data)):
             self.clock.advance(RESIDENT_CHECK_NS)
+            self.flight.record(self.clock.now(), "Upload",
+                               (va, len(data), 0))
             return 0
         self.clock.advance(max(1, len(data) * SEC // UPLOAD_BW))
         self._drop_resident(va, len(data))
@@ -436,16 +479,23 @@ class NanoGpuDriver:
         self._resident[va] = (digest, len(data))
         bisect.insort(self._resident_bases, va)
         self._resident_max = max(self._resident_max, len(data))
+        self.flight.record(self.clock.now(), "Upload",
+                           (va, len(data), len(data)))
         return len(data)
 
     def copy_to_gpu(self, gaddr: int, data: bytes) -> None:
         self.clock.advance(max(1, len(data) * SEC // UPLOAD_BW))
         self._drop_resident(gaddr, len(data))
         self._cpu_access(gaddr, len(data), data)
+        self.flight.record(self.clock.now(), "CopyToGpu",
+                           (gaddr, len(data)))
 
     def copy_from_gpu(self, gaddr: int, size: int) -> bytes:
         self.clock.advance(max(1, size * SEC // UPLOAD_BW))
-        return self._cpu_access(gaddr, size)
+        out = self._cpu_access(gaddr, size)
+        self.flight.record(self.clock.now(), "CopyFromGpu",
+                           (gaddr, size))
+        return out
 
     # -- checkpoint support (§5.3) --------------------------------------------------------
 

@@ -285,6 +285,7 @@ class Replayer:
                 startup = (stats.first_kick_at_ns - t_start
                            if stats.first_kick_at_ns >= 0 else 0)
                 obs.end(replay_span, args={"attempts": attempts})
+                self._note_flight_metrics(obs)
                 return ReplayResult(
                     outputs=outputs,
                     duration_ns=self.machine.clock.now() - t_start,
@@ -293,9 +294,18 @@ class Replayer:
                     startup_ns=startup)
             except ReplayAborted:
                 obs.end(replay_span, args={"aborted": True})
+                self._note_flight_metrics(obs)
                 raise
             except ReplayError as error:
                 last_error = error
+                # Mark the divergence in the flight ring so the doctor
+                # can anchor its report, then count it.
+                self.machine.flight.record(
+                    self.machine.clock.now(), "Divergence",
+                    (attempts, type(error).__name__))
+                obs.counter("replay.divergence.detected").inc()
+                obs.gauge("replay.divergence.last_index").set(
+                    getattr(error, "action_index", -1))
                 obs.instant(
                     "replay-divergence", obs_track,
                     args={"attempt": attempts,
@@ -326,10 +336,17 @@ class Replayer:
                               "window_end": delay_range[1],
                               "extra_delay_ns": extra_delay})
         obs.end(replay_span, args={"failed": True, "attempts": attempts})
+        obs.counter("replay.divergence.unrecovered").inc()
+        self._note_flight_metrics(obs)
         raise ReplayError(
             f"replay failed after {attempts} attempts: {last_error}",
             getattr(last_error, "action_index", -1),
             getattr(last_error, "source", ""))
+
+    def _note_flight_metrics(self, obs) -> None:
+        """Publish the flight recorder's capacity gauges."""
+        for name, value in self.machine.flight.snapshot().items():
+            obs.gauge(name).set(value)
 
     def _fast_executor(self, use_recorded_intervals: bool
                        ) -> Optional[CompiledExecutor]:

@@ -97,6 +97,7 @@ class GpuHandoffScheduler:
         if app is None:
             raise EnvironmentError_("preemption without a pending app")
         t0 = self.machine.clock.now()
+        self.machine.flight.record(t0, "Preempt", (app.name,))
         delay = self.replayer.handoff()
         self.owner = app.name
         self.events.append(PreemptionEvent(

@@ -140,6 +140,9 @@ class GpuDevice:
         """Open a timeline span on the job's slot track; family device
         models call this when the hardware actually starts crunching
         (not at enqueue -- queued jobs have no span yet)."""
+        self.machine.flight.record(self.machine.clock.now(),
+                                   "GpuJobStart",
+                                   (job.slot, job.chain_va))
         obs = self.machine.obs
         job.obs_span = obs.begin(
             f"job@{job.chain_va:#x}",
@@ -149,9 +152,13 @@ class GpuDevice:
 
     def note_job_retired(self, job: Optional[RunningJob]) -> None:
         """Close the slot span (completion, fault, or hard stop)."""
-        if job is not None and job.obs_span is not None:
-            self.machine.obs.end(job.obs_span)
-            job.obs_span = None
+        if job is not None:
+            self.machine.flight.record(self.machine.clock.now(),
+                                       "GpuJobRetire",
+                                       (job.slot, job.chain_va))
+            if job.obs_span is not None:
+                self.machine.obs.end(job.obs_span)
+                job.obs_span = None
 
     # -- scheduling helpers -----------------------------------------------------
 
@@ -181,6 +188,8 @@ class GpuDevice:
         level = self._irq_pending_level()
         if level and not self._irq_level:
             self._irq_level = True
+            self.machine.flight.record(self.machine.clock.now(),
+                                       "GpuIrqRaise", (self.irq_number,))
             self.machine.irq.raise_irq(self.irq_number)
         elif not level:
             self._irq_level = False

@@ -13,7 +13,13 @@ the one place all of that telemetry flows through:
   :class:`~repro.soc.machine.Machine` carries (a no-op null object by
   default, so the instrumented code paths cost nothing when disabled);
 - :mod:`repro.obs.chrome_trace` -- a validator for the exported
-  timeline (used by tests, ``grr trace`` and the CI smoke job).
+  timeline (used by tests, ``grr trace`` and the CI smoke job);
+- :mod:`repro.obs.flight` -- the always-on bounded flight recorder
+  every machine carries (forensics for ``grr doctor``);
+- :mod:`repro.obs.doctor` -- divergence localization and failure
+  forensics (NOT imported here: it depends on the replayer, which
+  depends on the machine, which imports this package -- import it
+  lazily, ``from repro.obs.doctor import run_doctor``).
 
 Determinism contract: observability only ever *reads* the virtual
 clock. Enabling it must change recorded/replayed virtual-time results

@@ -89,6 +89,34 @@ class Histogram:
     def mean(self) -> float:
         return self.sum / self.count if self.count else 0.0
 
+    def percentile(self, q: float) -> float:
+        """Estimate the q-th percentile from the bucket counts.
+
+        Linear interpolation inside the bucket holding the requested
+        rank, assuming observations spread evenly across it (the
+        standard fixed-bucket estimator). The overflow bucket has no
+        upper edge, so estimates clamp to the last boundary -- a known
+        property of fixed-bucket percentiles, not a bug.
+        """
+        if not 0.0 <= q <= 100.0:
+            raise ObsError(
+                f"histogram {self.name}: percentile {q} not in [0, 100]")
+        if self.count == 0:
+            return 0.0
+        rank = (q / 100.0) * self.count
+        cumulative = 0.0
+        lower = 0.0
+        for i, bucket_count in enumerate(self.bucket_counts):
+            upper = float(self.boundaries[i]
+                          if i < len(self.boundaries)
+                          else self.boundaries[-1])
+            if bucket_count and cumulative + bucket_count >= rank:
+                fraction = (rank - cumulative) / bucket_count
+                return lower + (upper - lower) * fraction
+            cumulative += bucket_count
+            lower = upper
+        return float(self.boundaries[-1])
+
 
 class MetricsRegistry:
     """Name -> metric map with get-or-create accessors.
@@ -152,6 +180,9 @@ class MetricsRegistry:
                     "bucket_counts": list(hist.bucket_counts),
                     "count": hist.count,
                     "sum": hist.sum,
+                    "p50": hist.percentile(50),
+                    "p95": hist.percentile(95),
+                    "p99": hist.percentile(99),
                 }
         return out
 

@@ -14,6 +14,7 @@ from dataclasses import dataclass
 from typing import Optional
 
 from repro.errors import SocError
+from repro.obs.flight import FlightRecorder
 from repro.obs.session import NULL_OBS
 from repro.soc.boards import BoardSpec, board_by_name
 from repro.soc.clock import VirtualClock
@@ -65,6 +66,10 @@ class Machine:
         # ever *reads* the clock, so enabling it never changes
         # virtual-time results.
         self.obs = NULL_OBS
+        # Flight recorder: always on, bounded, forensics-only. Unlike
+        # obs it cannot be swapped out -- divergence localization
+        # depends on the ring existing whenever a replay fails.
+        self.flight = FlightRecorder()
         self.gpu = None  # type: Optional[object]
 
     @classmethod

@@ -16,6 +16,13 @@ Subcommands::
                                           cache keys on, per-dump hashes
     grr bench [--json] [--check PIN]      replay fast-path benchmark
                                           (no recording file needed)
+    grr doctor <file> [--vs-reference]    diagnose a failing replay:
+                                          localize the first diverging
+                                          chokepoint, emit a
+                                          DivergenceReport
+
+Exit codes: 0 success, 1 replay/verification failure, 2 usage errors
+(missing or corrupt recording file, unknown board).
 
 Runs entirely offline on the recording file; ``verify`` builds the
 target board's machine only to obtain its register map, and ``trace``/
@@ -205,11 +212,50 @@ def cmd_replay(args) -> int:
     return 0
 
 
+def _trace_from_report(args) -> Optional[int]:
+    """If ``args.file`` is a saved DivergenceReport, export its flight
+    window as a Chrome trace; None means it is not a report."""
+    import json
+
+    from repro.obs import validate_chrome_trace
+    from repro.obs.doctor import DivergenceReport
+
+    try:
+        report = DivergenceReport.load(args.file)
+    except (ReproError, OSError, UnicodeDecodeError,
+            json.JSONDecodeError):
+        return None
+    trace = report.flight_chrome_trace()
+    errors = validate_chrome_trace(trace)
+    if errors:
+        print(f"INVALID trace ({len(errors)} problems):")
+        for problem in errors[:10]:
+            print(f"  {problem}")
+        return 1
+    with open(args.out, "w") as handle:
+        json.dump(trace, handle, indent=1)
+    print(f"wrote {args.out}: flight window of a {report.kind} report "
+          f"({len(report.flight_window)} events, divergence at action "
+          f"#{report.action_index}); load it at "
+          f"https://ui.perfetto.dev or chrome://tracing")
+    return 0
+
+
 def cmd_trace(args) -> int:
-    """Replay with observability on and export a Chrome trace JSON."""
+    """Replay with observability on and export a Chrome trace JSON.
+
+    Also accepts a saved ``grr doctor`` report, exporting its flight
+    window instead of replaying."""
+    from repro.errors import SerializationError
     from repro.obs import validate_chrome_trace
 
-    recording = _load(args.file)
+    try:
+        recording = _load(args.file)
+    except SerializationError:
+        handled = _trace_from_report(args)
+        if handled is None:
+            raise
+        return handled
     board = _resolve_board(args, recording)
     if board is None:
         return 2
@@ -239,8 +285,11 @@ def _print_snapshot(snapshot) -> None:
     for name in sorted(snapshot["histograms"]):
         hist = snapshot["histograms"][name]
         mean = hist["sum"] / hist["count"] if hist["count"] else 0.0
+        quantiles = "".join(
+            f" {q}={hist[q]:.0f}" for q in ("p50", "p95", "p99")
+            if q in hist)
         print(f"  {name:<36} count={hist['count']} "
-              f"sum={hist['sum']:.0f} mean={mean:.1f}")
+              f"sum={hist['sum']:.0f} mean={mean:.1f}{quantiles}")
 
 
 def cmd_stats(args) -> int:
@@ -314,6 +363,29 @@ def cmd_bench(args) -> int:
     print(replay_fastpath(family=args.family, model_name=args.model,
                           replays=args.replays).render())
     return 0
+
+
+def cmd_doctor(args) -> int:
+    """Diagnose a failing replay and localize the first divergence."""
+    from repro.obs.doctor import run_doctor
+
+    recording = _load(args.file)
+    board = _resolve_board(args, recording)
+    if board is None:
+        return 2
+    report = run_doctor(recording, board, seed=args.seed,
+                        vs_reference=args.vs_reference,
+                        ref_seed=args.ref_seed)
+    if report is None:
+        mode = "fast path and reference agree" if args.vs_reference \
+            else "replay is healthy"
+        print(f"no divergence: {mode} on {board}")
+        return 0
+    print(report.render())
+    if args.out:
+        report.save(args.out)
+        print(f"wrote {args.out} (load with `grr trace {args.out}`)")
+    return 1
 
 
 def cmd_patch(args) -> int:
@@ -408,6 +480,24 @@ def build_parser() -> argparse.ArgumentParser:
                        "(default 0.2)")
     bench.set_defaults(func=cmd_bench)
 
+    doctor = sub.add_parser(
+        "doctor", help="diagnose a failing replay: localize the first "
+        "diverging chokepoint, emit a DivergenceReport")
+    doctor.add_argument("file")
+    doctor.add_argument("--board", default=None,
+                        help="defaults to the recording's board")
+    doctor.add_argument("--seed", type=int, default=2026)
+    doctor.add_argument("--vs-reference", action="store_true",
+                        help="run the compiled fast path and the "
+                        "reference interpreter in lockstep and localize "
+                        "the first chokepoint where they disagree")
+    doctor.add_argument("--ref-seed", type=int, default=None,
+                        help="seed the reference arm differently "
+                        "(diagnose environment sensitivity)")
+    doctor.add_argument("--out", default=None, metavar="REPORT_JSON",
+                        help="also save the DivergenceReport as JSON")
+    doctor.set_defaults(func=cmd_doctor)
+
     patch = sub.add_parser("patch", help="cross-SKU patch (Mali)")
     patch.add_argument("file")
     patch.add_argument("--target-sku", required=True)
@@ -418,15 +508,22 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def main(argv: Optional[List[str]] = None) -> int:
+    from repro.errors import SerializationError
+
     args = build_parser().parse_args(argv)
     try:
         return args.func(args)
+    except SerializationError as error:
+        # A file that is not a recording is a usage error, like a
+        # missing file or an unknown board -- exit 2, not 1.
+        print(f"error: {error}", file=sys.stderr)
+        return 2
     except ReproError as error:
         print(f"error: {error}", file=sys.stderr)
         return 1
     except OSError as error:
         print(f"error: {error}", file=sys.stderr)
-        return 1
+        return 2
 
 
 if __name__ == "__main__":

@@ -60,6 +60,70 @@ class TestHistogram:
         assert list(SIZE_BUCKETS_BYTES) == sorted(SIZE_BUCKETS_BYTES)
 
 
+class TestPercentiles:
+    def test_empty_histogram(self):
+        hist = MetricsRegistry().histogram("h", (10, 100))
+        assert hist.percentile(50) == 0.0
+
+    def test_interpolates_within_bucket(self):
+        # 10 observations in (0, 10]: p50 sits at rank 5 of 10, i.e.
+        # halfway through the bucket under the uniform assumption.
+        hist = MetricsRegistry().histogram("h", (10, 100))
+        for _ in range(10):
+            hist.observe(5)
+        assert hist.percentile(50) == pytest.approx(5.0)
+        assert hist.percentile(100) == pytest.approx(10.0)
+
+    def test_crosses_buckets(self):
+        hist = MetricsRegistry().histogram("h", (10, 100))
+        for _ in range(5):
+            hist.observe(1)  # bucket (0, 10]
+        for _ in range(5):
+            hist.observe(50)  # bucket (10, 100]
+        # p50 = rank 5 of 10: exactly the edge of the first bucket.
+        assert hist.percentile(50) == pytest.approx(10.0)
+        # p95 = rank 9.5: 90% through the second bucket.
+        assert hist.percentile(95) == pytest.approx(10 + 0.9 * 90)
+
+    def test_skips_empty_buckets(self):
+        hist = MetricsRegistry().histogram("h", (10, 100, 1000))
+        hist.observe(500)
+        # The single observation lives in (100, 1000]; every quantile
+        # interpolates inside that bucket.
+        assert 100 < hist.percentile(50) <= 1000
+        assert hist.percentile(50) < hist.percentile(99)
+
+    def test_overflow_bucket_clamps_to_last_edge(self):
+        hist = MetricsRegistry().histogram("h", (10,))
+        hist.observe(5000)
+        assert hist.percentile(99) == pytest.approx(10.0)
+
+    def test_rejects_out_of_range(self):
+        hist = MetricsRegistry().histogram("h", (10,))
+        with pytest.raises(ObsError):
+            hist.percentile(-1)
+        with pytest.raises(ObsError):
+            hist.percentile(101)
+
+    def test_monotone_in_q(self):
+        hist = MetricsRegistry().histogram("h", (10, 100, 1000))
+        for value in (1, 3, 9, 20, 80, 200, 900, 950, 2, 60):
+            hist.observe(value)
+        qs = [0, 10, 25, 50, 75, 90, 95, 99, 100]
+        estimates = [hist.percentile(q) for q in qs]
+        assert estimates == sorted(estimates)
+
+    def test_snapshot_carries_percentiles(self):
+        registry = MetricsRegistry()
+        hist = registry.histogram("h", (10, 100))
+        for _ in range(10):
+            hist.observe(5)
+        snap = registry.snapshot()["histograms"]["h"]
+        assert snap["p50"] == pytest.approx(5.0)
+        assert snap["p95"] == pytest.approx(9.5)
+        assert snap["p99"] == pytest.approx(9.9)
+
+
 class TestRegistry:
     def test_kind_collision_rejected(self):
         registry = MetricsRegistry()

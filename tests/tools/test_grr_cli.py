@@ -37,7 +37,22 @@ class TestInfo:
         assert "zipped" in out
 
     def test_missing_file(self, capsys):
-        assert main(["info", "/no/such/file.grr"]) == 1
+        # Usage errors (bad path, corrupt file, unknown board) exit 2;
+        # replay/verification failures exit 1.
+        assert main(["info", "/no/such/file.grr"]) == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_corrupt_file(self, tmp_path, capsys):
+        bad = tmp_path / "garbage.grr"
+        bad.write_bytes(b"this is not a recording at all")
+        assert main(["info", str(bad)]) == 2
+        assert "error" in capsys.readouterr().err
+
+    @pytest.mark.parametrize("subcommand", [
+        "info", "actions", "replay", "trace", "stats", "inspect",
+        "doctor"])
+    def test_missing_file_all_subcommands(self, subcommand, capsys):
+        assert main([subcommand, "/no/such/file.grr"]) == 2
         assert "error" in capsys.readouterr().err
 
 
@@ -101,6 +116,46 @@ class TestReplay:
 
     def test_replay_unknown_board(self, recording_path):
         assert main(["replay", recording_path, "--board", "ps5"]) == 2
+
+
+class TestStats:
+    def test_stats_renders_percentiles(self, recording_path, capsys):
+        assert main(["stats", recording_path]) == 0
+        out = capsys.readouterr().out
+        assert "p50=" in out
+        assert "p95=" in out
+        assert "p99=" in out
+
+    def test_stats_unknown_board(self, recording_path):
+        assert main(["stats", recording_path, "--board", "ps5"]) == 2
+
+
+class TestDoctor:
+    def test_healthy_recording(self, recording_path, capsys):
+        assert main(["doctor", recording_path]) == 0
+        assert "no divergence" in capsys.readouterr().out
+
+    def test_unknown_board(self, recording_path):
+        assert main(["doctor", recording_path, "--board", "ps5"]) == 2
+
+    def test_corrupted_recording_reports(self, recording_path, tmp_path,
+                                         capsys):
+        from repro.core.recording import Recording
+        from repro.obs.doctor import flip_dump_byte
+
+        corrupted, _, _ = flip_dump_byte(Recording.load(recording_path))
+        bad_path = str(tmp_path / "bad.grr")
+        corrupted.save(bad_path)
+        report_path = str(tmp_path / "report.json")
+        assert main(["doctor", bad_path, "--out", report_path]) == 1
+        out = capsys.readouterr().out
+        assert "divergence (replay-error)" in out
+        assert "first diverging event" in out
+
+        # The saved report loads back through `grr trace`.
+        trace_path = str(tmp_path / "flight.json")
+        assert main(["trace", report_path, "--out", trace_path]) == 0
+        assert "flight window" in capsys.readouterr().out
 
 
 class TestPatch:
