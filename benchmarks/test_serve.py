@@ -1,0 +1,65 @@
+"""The concurrent serving engine: acceptance benchmarks.
+
+Two claims:
+
+- a batched multi-worker pool answers the same closed request batch at
+  least 3x faster (virtual makespan) than one sequential worker;
+- the ratio is pinned in ``BENCH_serve.json`` and exactly reproducible
+  -- both arms run on the deterministic virtual-time event loop, so
+  unlike the wall-clock fast-path ratios there is no host noise at
+  all. CI re-runs the measurement via ``grr bench --suite serve
+  --check`` and fails on a >20% regression against the pin.
+"""
+
+import json
+import pathlib
+
+import pytest
+
+from repro.bench.experiments import measure_serve, serve_throughput
+
+PIN_FILE = pathlib.Path(__file__).resolve().parent.parent / \
+    "BENCH_serve.json"
+
+
+@pytest.fixture(scope="module")
+def measured():
+    return measure_serve()
+
+
+def test_batched_pool_at_least_3x_sequential(measured):
+    assert measured["throughput_ratio"] >= 3.0, (
+        f"batched {measured['batched_rps']:.0f} rps vs sequential "
+        f"{measured['sequential_rps']:.0f} rps (virtual)")
+
+
+def test_batching_actually_coalesces(measured):
+    # Fewer dispatches than requests: same-content requests shared
+    # warm workers instead of staging one by one.
+    assert measured["batched_batches"] < measured["requests"]
+
+
+def test_pinned_ratio_within_tolerance(measured):
+    """The same guard CI runs via ``grr bench --suite serve --check``."""
+    pinned = json.loads(PIN_FILE.read_text())
+    floor = pinned["throughput_ratio"] * 0.8
+    assert measured["throughput_ratio"] >= floor, (
+        f"throughput_ratio regressed: "
+        f"{measured['throughput_ratio']:.2f} < floor {floor:.2f} "
+        f"(pinned {pinned['throughput_ratio']:.2f})")
+
+
+def test_virtual_time_ratio_is_exact(measured):
+    """Both makespans are virtual ns, so a re-measurement is not just
+    close -- it is byte-identical to the pin."""
+    pinned = json.loads(PIN_FILE.read_text())
+    assert measured["batched_makespan_ns"] == \
+        pinned["batched_makespan_ns"]
+    assert measured["sequential_makespan_ns"] == \
+        pinned["sequential_makespan_ns"]
+
+
+def test_serve_table_renders(experiment):
+    table = experiment(serve_throughput)
+    metrics = {row["metric"]: row["value"] for row in table.rows}
+    assert metrics["throughput_ratio"] >= 3.0

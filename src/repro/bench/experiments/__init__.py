@@ -19,6 +19,8 @@ from repro.bench.experiments.fig11 import recording_granularity
 from repro.bench.experiments.tab04 import codebase_comparison
 from repro.bench.experiments.tab05 import cve_elimination
 from repro.bench.experiments.tab06 import recording_stats
+from repro.bench.experiments.serve_bench import (measure_serve,
+                                                 serve_throughput)
 from repro.bench.experiments.s72 import validation_suite
 from repro.bench.experiments.s73 import cpu_memory
 from repro.bench.experiments.s75 import (checkpoint_tradeoff,
@@ -33,10 +35,12 @@ __all__ = [
     "inference_delays",
     "interaction_intervals",
     "measure_fastpath",
+    "measure_serve",
     "preemption_delays",
     "recording_granularity",
     "recording_stats",
     "replay_fastpath",
+    "serve_throughput",
     "skip_interval_ablation",
     "startup_delays",
     "sync_submission_overhead",

@@ -1,0 +1,97 @@
+"""Serving throughput: batched multi-worker pool vs sequential worker.
+
+One closed batch of requests (everything arrives at t=0, no deadlines,
+no faults) is served twice:
+
+- **batched**: four mali workers, same-content batching on -- warm
+  workers keep their session maps and resident dumps, so batch-mates
+  pay only input/output movement;
+- **sequential**: one worker, ``max_batch=1`` -- every dispatch stands
+  alone, the pre-serving-engine way of answering a stream.
+
+``throughput_ratio`` is sequential makespan over batched makespan.
+Both makespans are *virtual* nanoseconds off the same deterministic
+event loop, so the ratio is exactly reproducible -- the one metric
+``BENCH_serve.json`` pins and CI guards. The mix leads with
+``dense-serve`` (the zoo model whose multi-MB weights are not shrunk)
+so the dump re-uploads that warm batching avoids cost what they would
+on a real board.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.bench.harness import ResultTable
+from repro.serve import (LoadgenConfig, RecordingStore, ReplayServer,
+                         ServerConfig, generate_requests)
+from repro.units import SEC
+
+#: The (family, model) pairs the serving benchmark streams.
+SERVE_BENCH_MIX = (("mali", "dense-serve"), ("mali", "mnist"))
+
+
+def _makespan(store: RecordingStore, config: ServerConfig,
+              requests) -> Dict[str, object]:
+    server = ReplayServer(store, config)
+    report = server.serve(requests)
+    server.close()
+    if report.lost or report.counts()["shed"]:
+        raise AssertionError(
+            f"benchmark run lost/shed requests: {report.counts()}, "
+            f"lost={report.lost}")
+    return {
+        "makespan_ns": report.makespan_ns,
+        "percentiles": report.latency_percentiles(),
+        "batches": report.snapshot["counters"]["serve.batches"],
+    }
+
+
+def measure_serve(requests: int = 64, seed: int = 7,
+                  workers: int = 4,
+                  max_batch: int = 4) -> Dict[str, object]:
+    """Serve the same closed batch both ways; returns a flat dict."""
+    stream = generate_requests(LoadgenConfig(
+        requests=requests, seed=seed, mix=SERVE_BENCH_MIX,
+        mean_interarrival_ns=0, deadline_ns=0, fault_rate=0.0))
+    store = RecordingStore.from_zoo(SERVE_BENCH_MIX)
+
+    batched = _makespan(store, ServerConfig(
+        families=("mali",) * workers, seed=seed,
+        queue_depth=requests, max_batch=max_batch), stream)
+    sequential = _makespan(store, ServerConfig(
+        families=("mali",), seed=seed,
+        queue_depth=requests, max_batch=1), stream)
+
+    ratio = sequential["makespan_ns"] / batched["makespan_ns"]
+    return {
+        "requests": requests,
+        "workers": workers,
+        "max_batch": max_batch,
+        "batched_makespan_ns": int(batched["makespan_ns"]),
+        "sequential_makespan_ns": int(sequential["makespan_ns"]),
+        "batched_rps": requests * SEC / batched["makespan_ns"],
+        "sequential_rps": requests * SEC / sequential["makespan_ns"],
+        "throughput_ratio": ratio,
+        "batched_batches": int(batched["batches"]),
+        "p50_ns": batched["percentiles"]["p50"],
+        "p95_ns": batched["percentiles"]["p95"],
+        "p99_ns": batched["percentiles"]["p99"],
+    }
+
+
+def serve_throughput(requests: int = 64, seed: int = 7) -> ResultTable:
+    """The serving benchmark as a printable result table."""
+    m = measure_serve(requests=requests, seed=seed)
+    table = ResultTable(
+        f"Serving throughput ({requests} requests): batched "
+        f"{m['workers']}-worker pool vs sequential worker",
+        ["metric", "value"])
+    for metric in ("batched_makespan_ns", "sequential_makespan_ns",
+                   "batched_rps", "sequential_rps", "throughput_ratio",
+                   "batched_batches", "p50_ns", "p95_ns", "p99_ns"):
+        table.add_row(metric=metric, value=m[metric])
+    table.notes.append(
+        "throughput_ratio is the CI-guarded metric; both makespans "
+        "are virtual time, so the ratio is exactly reproducible")
+    return table

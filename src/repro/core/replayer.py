@@ -156,6 +156,32 @@ class Replayer:
         self._session_maps.clear()
         self._initialized = False
 
+    def reset_session(self) -> int:
+        """End the replay session without releasing the GPU.
+
+        Scrubs the GPU address space (reset + free every mapping, like
+        :meth:`init` does on acquisition) so an *unrelated* recording
+        can be staged next: consecutive recordings share the address
+        space only within one session, and a serving engine switching
+        content between batches must not inherit the previous
+        content's mappings. Residency is lost with the mappings --
+        which is exactly why coalescing same-content requests onto a
+        warm worker wins. Returns the virtual-time cost.
+        """
+        self._require_init()
+        t0 = self.machine.clock.now()
+        obs = self.machine.obs
+        with obs.span("replayer:reset-session",
+                      obs.track("replay", "session"), cat="replay"):
+            self.nano.soft_reset()
+            self.nano.release_memory()
+        self._session_maps.clear()
+        self.current = None
+        self.verification = None
+        self.program = None
+        self._executor = None
+        return self.machine.clock.now() - t0
+
     # -- API: Load -------------------------------------------------------------------
 
     def load(self, recording: Recording) -> VerificationReport:
@@ -222,7 +248,13 @@ class Replayer:
         return self.load(recording)
 
     def _load_key(self, recording: Recording) -> tuple:
+        # The GPU family rides along explicitly even though the
+        # register-map fingerprint already covers it: the fingerprint
+        # is a hash, and two machines sharing the process-wide cache
+        # (a multi-board serving pool) must never alias entries even
+        # if the hash ever lost a distinguishing input.
         return (recording.digest(),
+                self.nano.family,
                 self.nano.register_map_fingerprint(),
                 self.max_gpu_bytes,
                 tuple(sorted(self._session_maps.items())))

@@ -492,7 +492,10 @@ def first_kick_chain_va(recording: Recording) -> int:
     Replays the register writes symbolically up to the first
     ``is_job_kick`` write: Mali latches the chain head in
     ``JS{slot}_HEAD_HI/LO`` before ``JS{slot}_COMMAND``; v3d keeps the
-    control-list base in ``CT0QBA`` and kicks via ``CT0QEA``.
+    control-list base in ``CT0QBA`` and kicks via ``CT0QEA``; Adreno
+    programs the ring-buffer base into ``CP_RB_BASE_HI/LO`` and kicks
+    by bumping ``CP_RB_WPTR``, so the first packets decode from the
+    ring base.
     """
     regs: Dict[str, int] = {}
     for action in recording.actions:
@@ -507,6 +510,9 @@ def first_kick_chain_va(recording: Recording) -> int:
                 | regs.get(f"JS{slot}_HEAD_LO", 0)
         if action.reg == "CT0QEA":
             return regs.get("CT0QBA", 0)
+        if action.reg == "CP_RB_WPTR":
+            return (regs.get("CP_RB_BASE_HI", 0) << 32) \
+                | regs.get("CP_RB_BASE_LO", 0)
         raise ObsError(
             f"unrecognized kick register {action.reg!r}")
     raise ObsError("recording has no job kick")

@@ -1,0 +1,664 @@
+"""The virtual-time concurrent replay serving engine.
+
+A :class:`ReplayServer` owns a pool of per-board worker machines and a
+bounded admission queue, and schedules everything on a *server-owned*
+:class:`~repro.soc.clock.VirtualClock`: request arrivals, worker-free
+events, retry backoffs and CPU-fallback completions are all
+discrete-event callbacks on one deterministic timeline. A worker
+executes a batch synchronously (ordinary replay calls on its own
+machine); the virtual time its machine spent is the batch's service
+time, mapped onto the server timeline as "this worker is busy until
+``now + service_ns``". Concurrency is therefore *simulated* -- there
+are no threads -- which is what makes two same-seed runs produce
+byte-identical metric snapshots (see DESIGN.md, "Virtual-time
+serving").
+
+Scheduling policy:
+
+- admission: bounded queue depth; overflow and deadline-expired
+  requests are shed with an explicit response (never silently lost);
+- batching: pending requests for the *same recording content* (same
+  ``Recording.digest()``) coalesce onto one worker, preferring a
+  worker already warm on that digest -- a warm worker keeps its
+  session maps and resident dumps, so only inputs and outputs move;
+- failure ladder: the worker's own §5.4 re-execution absorbs
+  transient faults; a dispatch that still fails is retried with
+  backoff on a *different* worker; then the reference interpreter;
+  then the ``stack.reference`` CPU path, which always answers
+  (ground truth by construction). Degraded is better than wrong or
+  lost.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.bench.workloads import (board_for_family, fresh_replay_machine,
+                                   get_recorded)
+from repro.core.recording import Recording
+from repro.core.replayer import Replayer
+from repro.errors import ReplayError, ReproError
+from repro.gpu.faults import FaultInjector
+from repro.obs.metrics import LATENCY_BUCKETS_NS
+from repro.obs.session import Observability
+from repro.serve.loadgen import ServeRequest
+from repro.soc.clock import VirtualClock
+from repro.units import MS, SEC
+
+#: How long an injected transient core-collapse lasts (virtual).
+TRANSIENT_FAULT_NS = 8 * MS
+#: Server-side backoff before re-dispatching a failed request.
+REQUEUE_BACKOFF_NS = 2 * MS
+#: Modeled cost of answering one request on the CPU reference path.
+CPU_FALLBACK_NS = 20 * MS
+
+#: Batch-size histogram buckets (requests per dispatch).
+BATCH_BUCKETS = (1, 2, 4, 8, 16, 32)
+
+
+@dataclass(frozen=True)
+class ServerConfig:
+    """Pool shape and scheduling knobs."""
+
+    #: One entry per worker: the GPU family it serves.
+    families: Tuple[str, ...] = ("mali", "mali", "v3d")
+    #: Optional per-worker board override (defaults per family).
+    boards: Optional[Tuple[str, ...]] = None
+    seed: int = 2026
+    queue_depth: int = 64
+    max_batch: int = 4
+    #: §5.4 re-execution attempts inside one worker dispatch.
+    worker_attempts: int = 3
+    #: Server-level re-dispatches onto a different worker.
+    max_retries: int = 1
+
+    @classmethod
+    def from_counts(cls, workers: int, families: Tuple[str, ...],
+                    **kwargs) -> "ServerConfig":
+        """``workers`` workers cycling through ``families``."""
+        assigned = tuple(families[i % len(families)]
+                         for i in range(workers))
+        return cls(families=assigned, **kwargs)
+
+
+class RecordingStore:
+    """Content store: (family, model) -> recording, plus the poisoned
+    variants fault injection serves.
+
+    A poisoned variant has one dump byte flipped on the first job's
+    descriptor chain -- a *different digest*, so the corruption can
+    never alias the healthy content in any digest-keyed cache.
+    """
+
+    def __init__(self) -> None:
+        self._recordings: Dict[Tuple[str, str], Recording] = {}
+        self._poisoned: Dict[Tuple[str, str], Recording] = {}
+
+    @classmethod
+    def from_zoo(cls, mix) -> "RecordingStore":
+        """Record (or reuse the session-cached recording of) every
+        (family, model) pair in ``mix``."""
+        store = cls()
+        for family, model in mix:
+            workload, _stack = get_recorded(family, model)
+            store.add(family, model, workload.recording)
+        return store
+
+    def add(self, family: str, model: str,
+            recording: Recording) -> None:
+        self._recordings[(family, model)] = recording
+
+    def healthy(self, family: str, model: str) -> Recording:
+        return self._recordings[(family, model)]
+
+    def recording_for(self, request: ServeRequest) -> Recording:
+        key = (request.family, request.model)
+        if request.fault is not None and request.fault.kind == "poison":
+            poisoned = self._poisoned.get(key)
+            if poisoned is None:
+                from repro.obs.doctor import flip_dump_byte
+                poisoned, _, _ = flip_dump_byte(self._recordings[key])
+                self._poisoned[key] = poisoned
+            return poisoned
+        return self._recordings[key]
+
+    def mix(self) -> List[Tuple[str, str]]:
+        return sorted(self._recordings)
+
+
+def request_inputs(recording: Recording,
+                   seed: int) -> Dict[str, np.ndarray]:
+    """The request's input tensors, fully determined by its seed."""
+    rng = np.random.default_rng(seed)
+    inputs: Dict[str, np.ndarray] = {}
+    for io in recording.meta.inputs:
+        if io.optional:
+            continue
+        shape = io.shape or (io.size // 4,)
+        inputs[io.name] = rng.standard_normal(shape).astype(np.float32)
+    return inputs
+
+
+_MODEL_CACHE: Dict[str, object] = {}
+
+
+def expected_outputs(store: RecordingStore, family: str, model: str,
+                     input_seed: int) -> Dict[str, np.ndarray]:
+    """Ground truth: the CPU reference interpreter's answer, shaped
+    like the recording's output interface. This is both the degraded
+    fallback and what every served output is verified against."""
+    from repro.stack.framework import build_model
+    from repro.stack.reference import run_reference
+
+    recording = store.healthy(family, model)
+    inputs = request_inputs(recording, input_seed)
+    x = next(iter(inputs.values()))
+    graph = _MODEL_CACHE.get(model)
+    if graph is None:
+        graph = build_model(model)
+        _MODEL_CACHE[model] = graph
+    reference = run_reference(graph, x, fuse=False)
+    outputs: Dict[str, np.ndarray] = {}
+    for io in recording.meta.outputs:
+        shaped = reference.reshape(io.shape) if io.shape \
+            else reference.reshape(-1)
+        outputs[io.name] = shaped.astype(np.float32)
+    return outputs
+
+
+@dataclass
+class ServeResponse:
+    """The terminal answer for one request (exactly one per request)."""
+
+    rid: int
+    status: str            # "ok" | "degraded" | "shed"
+    path: str              # "fast" | "reference" | "cpu" | ""
+    family: str
+    model: str
+    input_seed: int
+    worker: int            # last worker that touched it; -1 for none
+    arrival_ns: int
+    completed_ns: int
+    attempts: int          # worker-internal §5.4 attempts, summed
+    retries: int           # server-level re-dispatches
+    batch_size: int
+    fault: str = ""
+    shed_reason: str = ""
+    outputs: Dict[str, np.ndarray] = field(default_factory=dict,
+                                           repr=False)
+
+    @property
+    def latency_ns(self) -> int:
+        return self.completed_ns - self.arrival_ns
+
+    def output_digest(self) -> str:
+        h = hashlib.sha256()
+        for name in sorted(self.outputs):
+            h.update(name.encode())
+            h.update(self.outputs[name].tobytes())
+        return h.hexdigest()
+
+    def summary(self) -> Dict[str, object]:
+        """JSON-able, byte-stable digest of this response (the
+        determinism tests compare these across same-seed runs)."""
+        return {
+            "rid": self.rid, "status": self.status, "path": self.path,
+            "family": self.family, "model": self.model,
+            "worker": self.worker, "arrival_ns": self.arrival_ns,
+            "completed_ns": self.completed_ns,
+            "attempts": self.attempts, "retries": self.retries,
+            "batch_size": self.batch_size, "fault": self.fault,
+            "shed_reason": self.shed_reason,
+            "outputs_sha256": self.output_digest(),
+        }
+
+
+@dataclass
+class ServeReport:
+    """Everything one serving run produced."""
+
+    submitted: int
+    responses: List[ServeResponse]
+    snapshot: Dict[str, Dict[str, object]]
+    makespan_ns: int
+    lost: List[int] = field(default_factory=list)
+
+    def counts(self) -> Dict[str, int]:
+        out = {"ok": 0, "degraded": 0, "shed": 0}
+        for response in self.responses:
+            out[response.status] = out.get(response.status, 0) + 1
+        return out
+
+    def latency_percentiles(self) -> Dict[str, float]:
+        hist = self.snapshot["histograms"].get("serve.latency_ns")
+        if not hist:
+            return {"p50": 0.0, "p95": 0.0, "p99": 0.0}
+        return {q: hist[q] for q in ("p50", "p95", "p99")}
+
+    def throughput_rps(self) -> float:
+        return self.snapshot["gauges"].get("serve.throughput_rps", 0.0)
+
+    def summary(self) -> Dict[str, object]:
+        """Deterministic JSON-able digest of the whole run."""
+        return {
+            "submitted": self.submitted,
+            "makespan_ns": self.makespan_ns,
+            "counts": self.counts(),
+            "lost": list(self.lost),
+            "snapshot": self.snapshot,
+            "responses": [r.summary() for r in self.responses],
+        }
+
+
+def verify_report(report: ServeReport,
+                  store: RecordingStore) -> List[str]:
+    """Check every served output against the CPU reference. Returns a
+    list of mismatch descriptions (empty = the replay invariant held
+    for the whole run, retried and degraded requests included)."""
+    mismatches: List[str] = []
+    for response in report.responses:
+        if response.status == "shed":
+            continue
+        expected = expected_outputs(store, response.family,
+                                    response.model, response.input_seed)
+        for name, want in expected.items():
+            got = response.outputs.get(name)
+            if got is None:
+                mismatches.append(
+                    f"request {response.rid}: output {name!r} missing")
+            elif not np.array_equal(got.reshape(-1), want.reshape(-1)):
+                mismatches.append(
+                    f"request {response.rid} ({response.path}): "
+                    f"output {name!r} differs from CPU reference")
+    return mismatches
+
+
+class Worker:
+    """One replay machine in the pool: a board, a replayer, a fault
+    injector, and the digest it is currently warm on."""
+
+    def __init__(self, wid: int, family: str, board: str, seed: int):
+        self.id = wid
+        self.family = family
+        self.board = board
+        self.machine = fresh_replay_machine(family, seed=seed,
+                                            board=board)
+        self.replayer = Replayer(self.machine)
+        self.replayer.init()
+        self.injector = FaultInjector(self.machine.require_gpu())
+        self.busy = False
+        self.warm_digest: Optional[str] = None
+        self.dispatches = 0
+
+    def stage(self, recording: Recording) -> None:
+        """Stage ``recording``; scrub the session first when switching
+        content (unrelated recordings must not share address space)."""
+        digest = recording.digest()
+        if self.warm_digest == digest \
+                and self.replayer.current is not None:
+            return
+        if self.replayer.current is not None:
+            self.replayer.reset_session()
+        self.replayer.load(recording)
+        self.warm_digest = digest
+
+    def heal(self) -> None:
+        """Best-effort return to a healthy, sessionless state after a
+        failed dispatch: clear injected faults, reset, scrub."""
+        self.injector.restore_cores()
+        self.injector.repair_ptes()
+        try:
+            self.replayer.reset_session()
+        except ReplayError:
+            pass  # GPU still unhappy; the next stage() retries a load
+        self.warm_digest = None
+
+    def close(self) -> None:
+        try:
+            self.replayer.cleanup()
+        except ReproError:
+            pass
+
+
+class ReplayServer:
+    """One-shot serving engine: construct, ``serve(requests)``, read
+    the report, ``close()``. All scheduling happens on ``self.clock``;
+    ``self.obs`` carries the ``serve.*`` metrics and the batch
+    timeline."""
+
+    def __init__(self, store: RecordingStore,
+                 config: Optional[ServerConfig] = None):
+        self.store = store
+        self.config = config or ServerConfig()
+        self.clock = VirtualClock()
+        self.obs = Observability(self.clock)
+        boards = self.config.boards or tuple(
+            board_for_family(f) for f in self.config.families)
+        if len(boards) != len(self.config.families):
+            raise ReproError("boards must parallel families")
+        self.workers = [
+            Worker(i, family, board,
+                   seed=self.config.seed * 1000 + i)
+            for i, (family, board) in enumerate(
+                zip(self.config.families, boards))]
+        self._pending: List[ServeRequest] = []
+        self._responses: Dict[int, ServeResponse] = {}
+        #: Per-request scheduling state: escalation mode and the
+        #: workers already tried in that mode.
+        self._mode: Dict[int, str] = {}
+        self._tries: Dict[int, List[int]] = {}
+        self._attempts: Dict[int, int] = {}
+        self._retries: Dict[int, int] = {}
+        self._served = False
+        self.obs.gauge("serve.workers").set(len(self.workers))
+
+    # -- public API ---------------------------------------------------------
+
+    def serve(self, requests: List[ServeRequest]) -> ServeReport:
+        """Run the whole stream to completion on the virtual timeline."""
+        if self._served:
+            raise ReproError("ReplayServer.serve is one-shot; "
+                             "build a new server")
+        self._served = True
+        ordered = sorted(requests, key=lambda r: (r.arrival_ns, r.rid))
+        for request in ordered:
+            self.clock.schedule(request.arrival_ns,
+                                lambda r=request: self._on_arrival(r))
+        while self.clock.advance_to_next_event():
+            pass
+        # Defensive: the ladder guarantees every request terminates,
+        # but a lost request must surface as shed, never silently.
+        for request in list(self._pending):
+            self._shed(request, "starved")
+        self._pending.clear()
+        makespan = self.clock.now()
+        served = sum(1 for r in self._responses.values()
+                     if r.status in ("ok", "degraded"))
+        self.obs.gauge("serve.makespan_ns").set(makespan)
+        self.obs.gauge("serve.throughput_rps").set(
+            served * SEC / makespan if makespan else 0.0)
+        self.obs.gauge("serve.queue.depth").set(len(self._pending))
+        lost = sorted(r.rid for r in ordered
+                      if r.rid not in self._responses)
+        return ServeReport(
+            submitted=len(ordered),
+            responses=[self._responses[rid]
+                       for rid in sorted(self._responses)],
+            snapshot=self.obs.snapshot(),
+            makespan_ns=makespan,
+            lost=lost)
+
+    def close(self) -> None:
+        for worker in self.workers:
+            worker.close()
+
+    # -- admission ----------------------------------------------------------
+
+    def _on_arrival(self, request: ServeRequest) -> None:
+        self.obs.counter("serve.requests.submitted").inc()
+        if request.fault is not None:
+            self.obs.counter(
+                f"serve.fault.{request.fault.kind}").inc()
+        self._mode.setdefault(request.rid, "fast")
+        self._tries.setdefault(request.rid, [])
+        self._attempts.setdefault(request.rid, 0)
+        self._retries.setdefault(request.rid, 0)
+        if not any(w.family == request.family for w in self.workers):
+            self._degrade_cpu(request, reason="no-worker")
+            return
+        if len(self._pending) >= self.config.queue_depth:
+            self._shed(request, "queue-full")
+            return
+        self._pending.append(request)
+        self._note_queue_depth()
+        self._dispatch()
+
+    def _requeue(self, request: ServeRequest) -> None:
+        """Re-admit after backoff; retries bypass the depth bound (the
+        request already holds an admission slot conceptually)."""
+        def readmit() -> None:
+            self._pending.insert(0, request)
+            self._note_queue_depth()
+            self._dispatch()
+        self.clock.schedule(REQUEUE_BACKOFF_NS, readmit)
+
+    def _note_queue_depth(self) -> None:
+        self.obs.gauge("serve.queue.depth").set(len(self._pending))
+
+    # -- scheduling ---------------------------------------------------------
+
+    def _dispatch(self) -> None:
+        progress = True
+        while progress:
+            progress = False
+            self._shed_expired()
+            if not self._pending:
+                return
+            idle = [w for w in self.workers if not w.busy]
+            if not idle:
+                return
+            for head in self._pending:
+                tried = self._tries[head.rid]
+                candidates = [w for w in idle
+                              if w.family == head.family
+                              and w.id not in tried]
+                if not candidates:
+                    continue
+                digest = self.store.recording_for(head).digest()
+                warm = [w for w in candidates
+                        if w.warm_digest == digest]
+                worker = (warm or candidates)[0]
+                batch = self._take_batch(head, digest)
+                self._run_batch(worker, batch)
+                progress = True
+                break
+
+    def _shed_expired(self) -> None:
+        now = self.clock.now()
+        expired = [r for r in self._pending if now > r.deadline_ns]
+        for request in expired:
+            self._pending.remove(request)
+            self._shed(request, "deadline")
+        if expired:
+            self._note_queue_depth()
+
+    def _take_batch(self, head: ServeRequest,
+                    digest: str) -> List[ServeRequest]:
+        """``head`` plus following fresh same-content requests, up to
+        ``max_batch``. Retried and reference-mode requests go solo --
+        their worker-exclusion sets are their own."""
+        batch = [head]
+        if self._mode[head.rid] == "fast" and not self._tries[head.rid]:
+            for request in self._pending:
+                if len(batch) >= self.config.max_batch:
+                    break
+                if request.rid == head.rid:
+                    continue
+                if (request.family == head.family
+                        and self._mode[request.rid] == "fast"
+                        and not self._tries[request.rid]
+                        and self.store.recording_for(request).digest()
+                        == digest):
+                    batch.append(request)
+        for request in batch:
+            self._pending.remove(request)
+        self._note_queue_depth()
+        return batch
+
+    # -- execution ----------------------------------------------------------
+
+    def _run_batch(self, worker: Worker,
+                   batch: List[ServeRequest]) -> None:
+        """Execute ``batch`` synchronously on the worker machine and
+        map the virtual time it took onto the server timeline."""
+        worker.busy = True
+        worker.dispatches += 1
+        dispatch_ns = self.clock.now()
+        mode = self._mode[batch[0].rid]
+        recording = self.store.recording_for(batch[0])
+        self.obs.counter("serve.batches").inc()
+        self.obs.histogram("serve.batch.size",
+                           BATCH_BUCKETS).observe(len(batch))
+        for request in batch:
+            self._tries[request.rid].append(worker.id)
+
+        machine = worker.machine
+        t0 = machine.clock.now()
+        results: List[Tuple[ServeRequest, Optional[Dict[str, np.ndarray]],
+                            int, int]] = []
+        staged = True
+        try:
+            worker.stage(recording)
+        except ReproError:
+            staged = False
+        for request in batch:
+            if not staged:
+                try:
+                    worker.stage(recording)
+                    staged = True
+                except ReproError:
+                    results.append((request, None, 0,
+                                    machine.clock.now() - t0))
+                    continue
+            self._inject(worker, request)
+            worker.replayer.fast_path = (mode == "fast")
+            attempts = (self.config.worker_attempts
+                        if mode == "fast" else 1)
+            try:
+                result = worker.replayer.replay(
+                    inputs=request_inputs(recording, request.input_seed),
+                    max_attempts=attempts)
+                results.append((request, result.outputs, result.attempts,
+                                machine.clock.now() - t0))
+            except ReplayError:
+                self.obs.counter("serve.worker_failures").inc()
+                results.append((request, None, attempts,
+                                machine.clock.now() - t0))
+                worker.heal()
+                staged = False
+            finally:
+                # A sticky fault that the family's job model happened
+                # to shrug off must not leak into later dispatches.
+                if request.fault is not None \
+                        and request.fault.kind == "gpu-sticky":
+                    worker.injector.restore_cores()
+        service_ns = machine.clock.now() - t0
+        self.obs.histogram("serve.service_ns",
+                           LATENCY_BUCKETS_NS).observe(service_ns)
+        self.clock.schedule(
+            service_ns,
+            lambda: self._on_batch_done(worker, dispatch_ns, mode,
+                                        len(batch), results))
+
+    def _inject(self, worker: Worker, request: ServeRequest) -> None:
+        """Fire the request's scheduled hardware fault (first dispatch
+        only -- the fault models an event on the machine that first
+        served it; poison travels with the content instead)."""
+        if request.fault is None or self._retries[request.rid] > 0 \
+                or self._mode[request.rid] != "fast":
+            return
+        kind = request.fault.kind
+        if kind not in ("gpu-transient", "gpu-sticky"):
+            return
+        gpu = worker.machine.require_gpu()
+        mask = (1 << gpu.core_count) - 1
+        worker.injector.offline_cores(mask)
+        if kind == "gpu-transient":
+            worker.machine.clock.schedule(TRANSIENT_FAULT_NS,
+                                          worker.injector.restore_cores)
+
+    def _on_batch_done(self, worker: Worker, dispatch_ns: int,
+                       mode: str, batch_size: int, results) -> None:
+        worker.busy = False
+        end_ns = self.clock.now()
+        self.obs.complete(
+            f"serve:batch:{mode}", self.obs.track("serve",
+                                                  f"worker-{worker.id}"),
+            dispatch_ns, end_ns,
+            args={"batch": batch_size, "worker": worker.id},
+            cat="serve")
+        for request, outputs, attempts, offset_ns in results:
+            self._attempts[request.rid] += attempts
+            if outputs is not None:
+                path = "fast" if mode == "fast" else "reference"
+                if path == "reference":
+                    self.obs.counter("serve.reference_fallbacks").inc()
+                self._complete(request, outputs, path, worker.id,
+                               batch_size, dispatch_ns + offset_ns)
+            else:
+                self._on_failure(request, worker)
+        self._dispatch()
+
+    # -- the failure ladder -------------------------------------------------
+
+    def _on_failure(self, request: ServeRequest,
+                    worker: Worker) -> None:
+        rid = request.rid
+        if self._mode[rid] == "fast":
+            family_workers = [w for w in self.workers
+                              if w.family == request.family]
+            untried = [w for w in family_workers
+                       if w.id not in self._tries[rid]]
+            if untried and self._retries[rid] < self.config.max_retries:
+                self._retries[rid] += 1
+                self.obs.counter("serve.retries").inc()
+                self._requeue(request)
+                return
+            self._mode[rid] = "reference"
+            self._tries[rid] = []
+            self._requeue(request)
+            return
+        # The reference interpreter rejected it too (poisoned content,
+        # or a recording this board cannot replay): answer on the CPU.
+        self._degrade_cpu(request, reason="replay-rejected")
+
+    def _degrade_cpu(self, request: ServeRequest, reason: str) -> None:
+        self.obs.counter("serve.cpu_fallbacks").inc()
+
+        def finish() -> None:
+            outputs = expected_outputs(self.store, request.family,
+                                       request.model, request.input_seed)
+            self._complete(request, outputs, "cpu", -1, 1,
+                           self.clock.now(), degrade_reason=reason)
+        self.clock.schedule(CPU_FALLBACK_NS, finish)
+
+    # -- terminal responses -------------------------------------------------
+
+    def _complete(self, request: ServeRequest,
+                  outputs: Dict[str, np.ndarray], path: str,
+                  worker_id: int, batch_size: int, completed_ns: int,
+                  degrade_reason: str = "") -> None:
+        status = "ok" if path == "fast" else "degraded"
+        self.obs.counter(f"serve.requests.{status}").inc()
+        self.obs.histogram("serve.latency_ns",
+                           LATENCY_BUCKETS_NS).observe(
+            completed_ns - request.arrival_ns)
+        self._responses[request.rid] = ServeResponse(
+            rid=request.rid, status=status, path=path,
+            family=request.family, model=request.model,
+            input_seed=request.input_seed, worker=worker_id,
+            arrival_ns=request.arrival_ns, completed_ns=completed_ns,
+            attempts=self._attempts.get(request.rid, 0),
+            retries=self._retries.get(request.rid, 0),
+            batch_size=batch_size,
+            fault=request.fault.kind if request.fault else "",
+            shed_reason=degrade_reason,
+            outputs=outputs)
+
+    def _shed(self, request: ServeRequest, reason: str) -> None:
+        self.obs.counter("serve.requests.shed").inc()
+        self._responses[request.rid] = ServeResponse(
+            rid=request.rid, status="shed", path="",
+            family=request.family, model=request.model,
+            input_seed=request.input_seed, worker=-1,
+            arrival_ns=request.arrival_ns,
+            completed_ns=self.clock.now(),
+            attempts=self._attempts.get(request.rid, 0),
+            retries=self._retries.get(request.rid, 0),
+            batch_size=0,
+            fault=request.fault.kind if request.fault else "",
+            shed_reason=reason)

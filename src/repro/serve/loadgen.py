@@ -1,0 +1,97 @@
+"""Deterministic load generation for the replay serving engine.
+
+A :class:`LoadgenConfig` plus a seed fully determines the request
+stream: arrival times (exponential interarrivals), the (family, model)
+mix, per-request input seeds, deadlines and the fault-injection
+schedule all come from one ``random.Random(seed)``. Two runs with the
+same config therefore submit byte-identical work -- the property the
+determinism-under-concurrency tests key on.
+
+Fault kinds (the adversarial schedule of the §7.2 validation, aimed at
+the serving layer):
+
+- ``gpu-transient``: all GPU cores power-collapse at dispatch and come
+  back a few virtual milliseconds later; the worker's own §5.4
+  re-execution is expected to absorb it.
+- ``gpu-sticky``: the cores stay down for the whole dispatch; the
+  worker fails, the server heals it and retries the request elsewhere.
+- ``poison``: the request is served a deliberately corrupted copy of
+  the recording (one flipped dump byte, hence a different digest);
+  both replay paths must reject it and the request must fall all the
+  way back to the CPU reference.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from repro.units import MS, SEC
+
+#: Every fault kind the load generator can schedule.
+FAULT_KINDS: Tuple[str, ...] = ("gpu-transient", "gpu-sticky", "poison")
+
+#: Deadline sentinel for "never sheds on time" requests.
+NO_DEADLINE_NS = 1 << 62
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One scheduled fault, attached to the request it rides on."""
+
+    kind: str
+
+
+@dataclass(frozen=True)
+class ServeRequest:
+    """One inference request: which content, which input, by when."""
+
+    rid: int
+    family: str
+    model: str
+    arrival_ns: int
+    input_seed: int
+    deadline_ns: int = NO_DEADLINE_NS
+    fault: Optional[FaultSpec] = None
+
+
+@dataclass(frozen=True)
+class LoadgenConfig:
+    """Everything that shapes the generated stream (seed included)."""
+
+    requests: int = 200
+    seed: int = 2026
+    #: The (family, model) pairs requests draw from, uniformly.
+    mix: Tuple[Tuple[str, str], ...] = (("mali", "mnist"),
+                                        ("mali", "kws"),
+                                        ("v3d", "mnist"))
+    #: Mean of the exponential interarrival distribution; 0 means a
+    #: closed batch (everything arrives at t=0).
+    mean_interarrival_ns: int = 1 * MS
+    #: Per-request deadline budget from arrival; 0 disables deadlines.
+    deadline_ns: int = 2 * SEC
+    #: Probability a request carries a fault.
+    fault_rate: float = 0.0
+    fault_kinds: Tuple[str, ...] = FAULT_KINDS
+
+
+def generate_requests(config: LoadgenConfig) -> List[ServeRequest]:
+    """The seeded request stream, sorted by arrival time."""
+    rng = random.Random(config.seed)
+    t_ns = 0
+    requests: List[ServeRequest] = []
+    for rid in range(config.requests):
+        if config.mean_interarrival_ns > 0:
+            t_ns += int(rng.expovariate(1.0 / config.mean_interarrival_ns))
+        family, model = config.mix[rng.randrange(len(config.mix))]
+        input_seed = rng.randrange(1 << 31)
+        fault: Optional[FaultSpec] = None
+        if config.fault_rate > 0 and rng.random() < config.fault_rate:
+            fault = FaultSpec(rng.choice(config.fault_kinds))
+        deadline = (t_ns + config.deadline_ns if config.deadline_ns > 0
+                    else NO_DEADLINE_NS)
+        requests.append(ServeRequest(
+            rid=rid, family=family, model=model, arrival_ns=t_ns,
+            input_seed=input_seed, deadline_ns=deadline, fault=fault))
+    return requests

@@ -14,8 +14,15 @@ Subcommands::
     grr inspect <file> [--digest] [--dumps]  content addressing: the
                                           recording digest the load
                                           cache keys on, per-dump hashes
-    grr bench [--json] [--check PIN]      replay fast-path benchmark
-                                          (no recording file needed)
+    grr bench [--suite fastpath|serve] [--json] [--check PIN]
+                                          benchmark suites (no
+                                          recording file needed)
+    grr serve [--requests N] [--workers N] [--fault-rate P]
+                                          run the concurrent replay
+                                          serving engine on a seeded
+                                          synthetic load; verifies
+                                          every answer against the CPU
+                                          reference
     grr doctor <file> [--vs-reference]    diagnose a failing replay:
                                           localize the first diverging
                                           chokepoint, emit a
@@ -332,21 +339,38 @@ def cmd_inspect(args) -> int:
 
 
 def cmd_bench(args) -> int:
-    """Run the replay fast-path benchmark; optionally guard a pin."""
+    """Run a benchmark suite; optionally guard a pin."""
     import json as json_mod
 
-    from repro.bench.experiments import measure_fastpath, replay_fastpath
+    from repro.bench.experiments import (measure_fastpath, measure_serve,
+                                         replay_fastpath, serve_throughput)
+
+    if args.suite == "serve":
+        def measure():
+            return measure_serve()
+        guarded = ("throughput_ratio",)
+        def render():
+            return serve_throughput().render()
+    else:
+        def measure():
+            return measure_fastpath(family=args.family,
+                                    model_name=args.model,
+                                    replays=args.replays)
+        guarded = ("warm_load_speedup", "replay_speedup")
+        def render():
+            return replay_fastpath(family=args.family,
+                                   model_name=args.model,
+                                   replays=args.replays).render()
 
     if args.json or args.check:
-        measured = measure_fastpath(family=args.family, model_name=args.model,
-                                    replays=args.replays)
+        measured = measure()
         if args.json:
             print(json_mod.dumps(measured, indent=2, sort_keys=True))
         if args.check:
             with open(args.check) as handle:
                 pinned = json_mod.load(handle)
             failures = []
-            for metric in ("warm_load_speedup", "replay_speedup"):
+            for metric in guarded:
                 floor = pinned[metric] * (1 - args.tolerance)
                 got = measured[metric]
                 status = "ok" if got >= floor else "REGRESSION"
@@ -355,13 +379,87 @@ def cmd_bench(args) -> int:
                 if got < floor:
                     failures.append(metric)
             if failures:
-                print(f"error: fast-path regression in "
+                print(f"error: {args.suite} regression in "
                       f"{', '.join(failures)} (>"
                       f"{args.tolerance:.0%} below pin)", file=sys.stderr)
                 return 1
         return 0
-    print(replay_fastpath(family=args.family, model_name=args.model,
-                          replays=args.replays).render())
+    print(render())
+    return 0
+
+
+def cmd_serve(args) -> int:
+    """Run the serving engine against a seeded synthetic load."""
+    import json as json_mod
+
+    from repro.bench.workloads import board_for_family
+    from repro.serve import (LoadgenConfig, RecordingStore, ReplayServer,
+                             ServerConfig, generate_requests,
+                             verify_report)
+
+    families = tuple(f.strip() for f in args.families.split(",")
+                     if f.strip())
+    models = tuple(m.strip() for m in args.models.split(",")
+                   if m.strip())
+    for family in families:
+        try:
+            board_for_family(family)
+        except ReproError:
+            print(f"unknown family {family!r}", file=sys.stderr)
+            return 2
+    worker_families = tuple(families[i % len(families)]
+                            for i in range(args.workers))
+    mix = tuple((family, model)
+                for family in sorted(set(families)) for model in models)
+    requests = generate_requests(LoadgenConfig(
+        requests=args.requests, seed=args.seed, mix=mix,
+        fault_rate=args.fault_rate))
+    store = RecordingStore.from_zoo(mix)
+    server = ReplayServer(store, ServerConfig(
+        families=worker_families, seed=args.seed,
+        queue_depth=args.queue_depth, max_batch=args.max_batch))
+    report = server.serve(requests)
+    server.close()
+
+    counts = report.counts()
+    counters = report.snapshot["counters"]
+    percentiles = report.latency_percentiles()
+    if args.json:
+        summary = report.summary()
+        summary["percentiles"] = percentiles
+        print(json_mod.dumps(summary, indent=1, sort_keys=True))
+    else:
+        print(f"served {report.submitted} requests on "
+              f"{args.workers} workers ({', '.join(worker_families)}) "
+              f"in {fmt_ns(report.makespan_ns)} virtual")
+        print(f"  ok {counts['ok']}  degraded {counts['degraded']}  "
+              f"shed {counts['shed']}  lost {len(report.lost)}")
+        print(f"  retries {counters.get('serve.retries', 0)}  "
+              f"worker failures "
+              f"{counters.get('serve.worker_failures', 0)}  "
+              f"cpu fallbacks "
+              f"{counters.get('serve.cpu_fallbacks', 0)}")
+        print(f"  latency p50 {fmt_ns(int(percentiles['p50']))}  "
+              f"p95 {fmt_ns(int(percentiles['p95']))}  "
+              f"p99 {fmt_ns(int(percentiles['p99']))}")
+        print(f"  throughput {report.throughput_rps():.1f} requests/s "
+              f"(virtual)")
+    if report.lost:
+        print(f"error: {len(report.lost)} requests lost: "
+              f"{report.lost[:10]}", file=sys.stderr)
+        return 1
+    if not args.no_verify:
+        mismatches = verify_report(report, store)
+        if mismatches:
+            print(f"error: {len(mismatches)} outputs disagree with the "
+                  f"CPU reference:", file=sys.stderr)
+            for mismatch in mismatches[:10]:
+                print(f"  {mismatch}", file=sys.stderr)
+            return 1
+        answered = counts["ok"] + counts["degraded"]
+        print(f"  verified: all {answered} answered outputs match the "
+              f"CPU reference",
+              file=sys.stderr if args.json else sys.stdout)
     return 0
 
 
@@ -464,8 +562,10 @@ def build_parser() -> argparse.ArgumentParser:
     inspect.set_defaults(func=cmd_inspect)
 
     bench = sub.add_parser(
-        "bench", help="replay fast-path benchmark (load cache, "
-        "compiled dispatch, resident dumps)")
+        "bench", help="benchmark suites: replay fast path (load cache, "
+        "compiled dispatch, resident dumps) or serving throughput")
+    bench.add_argument("--suite", choices=("fastpath", "serve"),
+                       default="fastpath")
     bench.add_argument("--family", default="mali")
     bench.add_argument("--model", default="dense-serve")
     bench.add_argument("--replays", type=int, default=20)
@@ -479,6 +579,29 @@ def build_parser() -> argparse.ArgumentParser:
                        help="allowed fraction below the pin "
                        "(default 0.2)")
     bench.set_defaults(func=cmd_bench)
+
+    serve = sub.add_parser(
+        "serve", help="run the concurrent replay serving engine "
+        "against a seeded synthetic load (no recording file needed)")
+    serve.add_argument("--requests", type=int, default=200)
+    serve.add_argument("--workers", type=int, default=3)
+    serve.add_argument("--families", default="mali,mali,v3d",
+                       help="comma list; assigned to workers "
+                       "cyclically (default mali,mali,v3d)")
+    serve.add_argument("--models", default="mnist,kws",
+                       help="comma list of zoo models in the mix")
+    serve.add_argument("--seed", type=int, default=2026)
+    serve.add_argument("--fault-rate", type=float, default=0.0,
+                       help="probability a request carries an injected "
+                       "fault (transient/sticky/poison)")
+    serve.add_argument("--max-batch", type=int, default=4)
+    serve.add_argument("--queue-depth", type=int, default=64)
+    serve.add_argument("--json", action="store_true",
+                       help="machine-readable run summary")
+    serve.add_argument("--no-verify", action="store_true",
+                       help="skip checking served outputs against the "
+                       "CPU reference")
+    serve.set_defaults(func=cmd_serve)
 
     doctor = sub.add_parser(
         "doctor", help="diagnose a failing replay: localize the first "
