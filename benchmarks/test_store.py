@@ -1,0 +1,75 @@
+"""The recording vault: acceptance benchmarks.
+
+Two claims:
+
+- packing nine same-family zoo recordings (three mali models x three
+  SKUs, the Section 6.4 fleet story) lands the whole vault -- chunk
+  objects, manifests, compatibility index -- at no more than 0.6x the
+  sum of the individually zipped recordings; the realized savings are
+  pinned in ``BENCH_store.json`` and CI-guarded via ``grr bench
+  --suite store --check``;
+- a vault fetch is *the* recording: for one model per family
+  (mali / v3d / adreno) the reassembly serializes byte-identically to
+  the original, so the storage layer is invisible to every
+  digest-keyed consumer downstream.
+
+Chunk boundaries (seeded gear hash) and digests are deterministic, so
+the chunk counts are asserted exactly, not within tolerance.
+"""
+
+import json
+import pathlib
+
+import pytest
+
+from repro.bench.experiments import measure_store, store_report
+
+PIN_FILE = pathlib.Path(__file__).resolve().parent.parent / \
+    "BENCH_store.json"
+
+
+@pytest.fixture(scope="module")
+def measured():
+    return measure_store()
+
+
+def test_fleet_dedup_beats_individual_zip(measured):
+    """The acceptance bar: vault <= 0.6x the zipped-sum baseline."""
+    assert measured["recordings"] >= 6
+    assert measured["dedup_ratio"] <= 0.6, (
+        f"vault {measured['vault_disk_bytes']} B is "
+        f"{measured['dedup_ratio']:.2f}x the zipped sum "
+        f"{measured['zipped_sum_bytes']} B")
+
+
+def test_pinned_savings_within_tolerance(measured):
+    """The same guard CI runs via ``grr bench --suite store --check``."""
+    pinned = json.loads(PIN_FILE.read_text())
+    floor = pinned["dedup_savings"] * 0.8
+    assert measured["dedup_savings"] >= floor, (
+        f"dedup_savings regressed: {measured['dedup_savings']:.3f} "
+        f"< floor {floor:.3f} (pinned {pinned['dedup_savings']:.3f})")
+
+
+def test_chunking_is_exactly_reproducible(measured):
+    """Seeded CDC: same corpus, same boundaries, same counts."""
+    pinned = json.loads(PIN_FILE.read_text())
+    assert measured["chunk_refs"] == pinned["chunk_refs"]
+    assert measured["unique_chunks"] == pinned["unique_chunks"]
+
+
+def test_chunks_actually_shared(measured):
+    # The g52/g71 variants must dedup against their g31 base: far
+    # fewer distinct chunks than references.
+    assert measured["unique_chunks"] < measured["chunk_refs"] / 2
+
+
+def test_fetch_byte_identical_on_all_families(measured):
+    assert measured["fetch_identical_families"] == \
+        measured["families_checked"] == 3
+
+
+def test_store_table_renders(experiment):
+    table = experiment(store_report)
+    metrics = {row["metric"]: row["value"] for row in table.rows}
+    assert metrics["dedup_ratio"] <= 0.6

@@ -21,6 +21,8 @@ from repro.bench.experiments.tab05 import cve_elimination
 from repro.bench.experiments.tab06 import recording_stats
 from repro.bench.experiments.serve_bench import (measure_serve,
                                                  serve_throughput)
+from repro.bench.experiments.store_bench import (measure_store,
+                                                 store_report)
 from repro.bench.experiments.s72 import validation_suite
 from repro.bench.experiments.s73 import cpu_memory
 from repro.bench.experiments.s75 import (checkpoint_tradeoff,
@@ -36,6 +38,7 @@ __all__ = [
     "interaction_intervals",
     "measure_fastpath",
     "measure_serve",
+    "measure_store",
     "preemption_delays",
     "recording_granularity",
     "recording_stats",
@@ -43,6 +46,7 @@ __all__ = [
     "serve_throughput",
     "skip_interval_ablation",
     "startup_delays",
+    "store_report",
     "sync_submission_overhead",
     "training_delays",
     "validation_suite",

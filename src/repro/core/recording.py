@@ -150,7 +150,20 @@ class Recording:
                 body = zlib.decompress(body)
             except zlib.error as exc:
                 raise SerializationError(f"corrupt recording: {exc}")
-        return _decode_body(body)
+        # A truncated or garbage body must always surface as the
+        # structured corrupt-recording error, never as whatever raw
+        # exception the decoder tripped over (struct.error on a short
+        # buffer, UnicodeDecodeError inside a mangled string table,
+        # MemoryError on an absurd length field...). `grr` maps
+        # SerializationError to exit code 2, like any unusable file.
+        try:
+            return _decode_body(body)
+        except SerializationError:
+            raise
+        except (struct.error, ValueError, EOFError, IndexError,
+                OverflowError, MemoryError) as exc:
+            raise SerializationError(
+                f"corrupt recording body: {type(exc).__name__}: {exc}")
 
     def save(self, path: str, compress: bool = True) -> int:
         data = self.to_bytes(compress)
@@ -280,7 +293,38 @@ def _decode_io(r: _Reader) -> List[IoBuffer]:
     return out
 
 
-def _encode_body(rec: Recording) -> bytes:
+def encode_skeleton(rec: Recording) -> bytes:
+    """The recording body *without* dump payloads.
+
+    The chunked store keeps a recording as this skeleton (metadata,
+    string table, actions, and the dump table of VAs and sizes) plus a
+    content-defined chunk list per dump; the payload bytes live in the
+    shared chunk objects. ``decode_skeleton`` reassembles the exact
+    Recording, so ``digest()`` survives a store round-trip unchanged.
+    """
+    return _encode_body(rec, with_dump_data=False)
+
+
+def decode_skeleton(skeleton: bytes,
+                    payloads: List[bytes]) -> Recording:
+    """Rebuild a recording from its skeleton and dump payloads.
+
+    ``payloads[i]`` must be exactly the bytes of dump ``i`` as the
+    skeleton's dump table declares them; a count or size mismatch is a
+    :class:`SerializationError` (the store's integrity chain should
+    have caught it earlier).
+    """
+    try:
+        return _decode_body(skeleton, dump_payloads=payloads)
+    except SerializationError:
+        raise
+    except (struct.error, ValueError, EOFError, IndexError,
+            OverflowError, MemoryError) as exc:
+        raise SerializationError(
+            f"corrupt recording skeleton: {type(exc).__name__}: {exc}")
+
+
+def _encode_body(rec: Recording, with_dump_data: bool = True) -> bytes:
     meta = rec.meta
     w = _Writer()
     for s in (meta.gpu_model, meta.family, meta.pte_format, meta.board,
@@ -354,11 +398,14 @@ def _encode_body(rec: Recording) -> bytes:
     for dump in rec.dumps:
         w.u64(dump.va)
         w.u32(len(dump.data))
-        w.raw(dump.data)
+        if with_dump_data:
+            w.raw(dump.data)
     return w.getvalue()
 
 
-def _decode_body(data: bytes) -> Recording:
+def _decode_body(data: bytes,
+                 dump_payloads: Optional[List[bytes]] = None
+                 ) -> Recording:
     r = _Reader(data)
     meta = RecordingMeta()
     (meta.gpu_model, meta.family, meta.pte_format, meta.board,
@@ -414,7 +461,21 @@ def _decode_body(data: bytes) -> Recording:
         actions.append(action)
 
     dumps = []
-    for _ in range(r.u32()):
+    n_dumps = r.u32()
+    if dump_payloads is not None and len(dump_payloads) != n_dumps:
+        raise SerializationError(
+            f"skeleton declares {n_dumps} dumps, "
+            f"{len(dump_payloads)} payloads supplied")
+    for index in range(n_dumps):
         va = r.u64()
-        dumps.append(MemoryDump(va, r.raw(r.u32())))
+        size = r.u32()
+        if dump_payloads is None:
+            dumps.append(MemoryDump(va, r.raw(size)))
+        else:
+            payload = dump_payloads[index]
+            if len(payload) != size:
+                raise SerializationError(
+                    f"dump #{index}: skeleton declares {size} bytes, "
+                    f"payload has {len(payload)}")
+            dumps.append(MemoryDump(va, payload))
     return Recording(meta, actions, dumps)

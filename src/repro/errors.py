@@ -150,6 +150,46 @@ class ReplayAborted(ReplayError):
     """The replay was preempted or cancelled by the environment."""
 
 
+class StoreError(ReproError):
+    """Base class for recording-vault (``repro.store``) failures."""
+
+
+class StoreNotFoundError(StoreError):
+    """A vault, manifest or chunk the caller named does not exist.
+
+    Usage-shaped (like a missing recording file): ``grr`` maps it to
+    exit code 2.
+    """
+
+
+class StoreCorruptionError(StoreError):
+    """A vault object failed its integrity check.
+
+    Carries enough location to hand the damaged recording straight to
+    the replay doctor: the recording digest whose fetch failed, the
+    offending chunk digest, and where the chunk lands in the recording
+    (dump index, dump VA, byte offset within the dump).
+    """
+
+    def __init__(self, message: str, recording_digest: str = "",
+                 chunk_digest: str = "", dump_index: int = -1,
+                 dump_va: int = -1, dump_offset: int = -1):
+        detail = message
+        if recording_digest:
+            detail += f" [recording {recording_digest[:12]}]"
+        if chunk_digest:
+            detail += f" [chunk {chunk_digest[:12]}]"
+        if dump_index >= 0:
+            detail += (f" [dump #{dump_index} va {dump_va:#x} "
+                       f"offset {dump_offset}]")
+        super().__init__(detail)
+        self.recording_digest = recording_digest
+        self.chunk_digest = chunk_digest
+        self.dump_index = dump_index
+        self.dump_va = dump_va
+        self.dump_offset = dump_offset
+
+
 class EnvironmentError_(ReproError):
     """A deployment environment could not host the replayer."""
 

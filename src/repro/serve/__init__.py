@@ -12,9 +12,9 @@ from repro.serve.engine import (BATCH_BUCKETS, CPU_FALLBACK_NS,
                                 RecordingStore, ReplayServer,
                                 REQUEUE_BACKOFF_NS, ServeReport,
                                 ServeResponse, ServerConfig,
-                                TRANSIENT_FAULT_NS, Worker,
-                                expected_outputs, request_inputs,
-                                verify_report)
+                                TRANSIENT_FAULT_NS, VaultRecordingStore,
+                                Worker, expected_outputs,
+                                request_inputs, verify_report)
 from repro.serve.loadgen import (FAULT_KINDS, FaultSpec, LoadgenConfig,
                                  NO_DEADLINE_NS, ServeRequest,
                                  generate_requests)
@@ -34,6 +34,7 @@ __all__ = [
     "ServeResponse",
     "ServerConfig",
     "TRANSIENT_FAULT_NS",
+    "VaultRecordingStore",
     "Worker",
     "expected_outputs",
     "generate_requests",

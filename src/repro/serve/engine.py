@@ -75,6 +75,12 @@ class ServerConfig:
     worker_attempts: int = 3
     #: Server-level re-dispatches onto a different worker.
     max_retries: int = 1
+    #: Warm every worker's load cache from the store before the
+    #: timeline starts (the vault's prefetch path). Off by default:
+    #: a prefetched run pays Load costs up front, so its service
+    #: times differ from a cold run's -- both are deterministic, but
+    #: only same-config runs compare byte-for-byte.
+    prefetch: bool = False
 
     @classmethod
     def from_counts(cls, workers: int, families: Tuple[str, ...],
@@ -115,6 +121,20 @@ class RecordingStore:
     def healthy(self, family: str, model: str) -> Recording:
         return self._recordings[(family, model)]
 
+    def interface(self, family: str, model: str) -> Recording:
+        """A recording good for interface questions only (metadata,
+        input/output buffers) -- never replayed. Vault-backed stores
+        can answer this from the skeleton even when the recording's
+        payload chunks are damaged."""
+        return self.healthy(family, model)
+
+    def available(self, family: str, model: str) -> bool:
+        """Whether replayable content exists for this key. The
+        loose-file store always says yes; a vault-backed store says no
+        on a store miss or a corrupt fetch, which the server turns
+        into a CPU-degraded answer instead of a failed dispatch."""
+        return (family, model) in self._recordings
+
     def recording_for(self, request: ServeRequest) -> Recording:
         key = (request.family, request.model)
         if request.fault is not None and request.fault.kind == "poison":
@@ -128,6 +148,95 @@ class RecordingStore:
 
     def mix(self) -> List[Tuple[str, str]]:
         return sorted(self._recordings)
+
+
+class VaultRecordingStore(RecordingStore):
+    """A recording store backed by a :class:`repro.store.vault.Vault`.
+
+    Content is resolved through the vault's compatibility index
+    (family + workload, best board match) and fetched lazily on first
+    use; ``fetch`` re-verifies the whole integrity chain, so a served
+    recording is byte-identical to what was packed or it is not served
+    at all. A miss or a corrupt fetch marks the key unavailable --
+    the server degrades those requests to the CPU reference -- and
+    corrupt digests are remembered in :attr:`corrupt` for the doctor
+    handoff (``vault.diagnose``).
+    """
+
+    def __init__(self, vault, mix: List[Tuple[str, str]],
+                 board: Optional[str] = None) -> None:
+        super().__init__()
+        self.vault = vault
+        self._mix = sorted(mix)
+        self._board = board
+        #: (family, model) -> digest the vault could not deliver.
+        self.corrupt: Dict[Tuple[str, str], str] = {}
+        self._missing: set = set()
+
+    @classmethod
+    def pack_zoo(cls, vault, mix) -> "VaultRecordingStore":
+        """Pack every (family, model) zoo recording into ``vault`` and
+        serve from it -- the one-call path the benches use."""
+        for family, model in mix:
+            workload, _stack = get_recorded(family, model)
+            vault.pack(workload.recording)
+        return cls(vault, list(mix))
+
+    def _digest_for(self, family: str, model: str) -> Optional[str]:
+        return self.vault.best_for(family, board=self._board,
+                                   workload=model)
+
+    def _ensure(self, family: str, model: str) -> bool:
+        """Fetch-and-verify into the in-memory map; False on miss or
+        corruption (remembered, so one bad recording is probed against
+        the store once, not once per request)."""
+        from repro.errors import StoreCorruptionError, StoreError
+        key = (family, model)
+        if key in self._recordings:
+            return True
+        if key in self._missing or key in self.corrupt:
+            return False
+        digest = self._digest_for(family, model)
+        if digest is None:
+            self._missing.add(key)
+            return False
+        try:
+            self.add(family, model, self.vault.fetch(digest))
+            return True
+        except StoreCorruptionError:
+            self.corrupt[key] = digest
+            return False
+        except StoreError:
+            self._missing.add(key)
+            return False
+
+    def available(self, family: str, model: str) -> bool:
+        return self._ensure(family, model)
+
+    def healthy(self, family: str, model: str) -> Recording:
+        self._ensure(family, model)
+        return self._recordings[(family, model)]
+
+    def interface(self, family: str, model: str) -> Recording:
+        """Interface from the fetched recording when healthy, else
+        from the vault skeleton -- which survives chunk damage, so a
+        corrupt recording can still be answered on the CPU path."""
+        if self._ensure(family, model):
+            return self._recordings[(family, model)]
+        digest = self.corrupt.get((family, model)) \
+            or self._digest_for(family, model)
+        if digest is None:
+            from repro.errors import StoreNotFoundError
+            raise StoreNotFoundError(
+                f"no recording for {family}/{model} in vault")
+        return self.vault.fetch_interface(digest)
+
+    def recording_for(self, request: ServeRequest) -> Recording:
+        self._ensure(request.family, request.model)
+        return super().recording_for(request)
+
+    def mix(self) -> List[Tuple[str, str]]:
+        return list(self._mix)
 
 
 def request_inputs(recording: Recording,
@@ -154,7 +263,7 @@ def expected_outputs(store: RecordingStore, family: str, model: str,
     from repro.stack.framework import build_model
     from repro.stack.reference import run_reference
 
-    recording = store.healthy(family, model)
+    recording = store.interface(family, model)
     inputs = request_inputs(recording, input_seed)
     x = next(iter(inputs.values()))
     graph = _MODEL_CACHE.get(model)
@@ -355,6 +464,26 @@ class ReplayServer:
         self._retries: Dict[int, int] = {}
         self._served = False
         self.obs.gauge("serve.workers").set(len(self.workers))
+        if self.config.prefetch:
+            self._prefetch_workers()
+
+    def _prefetch_workers(self) -> None:
+        """Stream every recording a worker's family will serve from
+        the store into the process-wide load cache, before the request
+        timeline starts. Worker machine clocks absorb the Load cost
+        here; batch service times are measured as deltas, so warmup
+        never leaks into a request's latency."""
+        warmed = 0
+        for worker in self.workers:
+            for family, model in self.store.mix():
+                if family != worker.family:
+                    continue
+                if not self.store.available(family, model):
+                    continue
+                if worker.replayer.prefetch(
+                        self.store.healthy(family, model)):
+                    warmed += 1
+        self.obs.counter("serve.store.prefetched").inc(warmed)
 
     # -- public API ---------------------------------------------------------
 
@@ -409,6 +538,21 @@ class ReplayServer:
         self._retries.setdefault(request.rid, 0)
         if not any(w.family == request.family for w in self.workers):
             self._degrade_cpu(request, reason="no-worker")
+            return
+        if not self.store.available(request.family, request.model):
+            # Store miss / corrupt fetch: the bottom rung of the
+            # failure ladder, entered at admission -- there is nothing
+            # to dispatch. The counter is created lazily so a store
+            # that never misses leaves no trace in the snapshot.
+            self.obs.counter("serve.store.miss").inc()
+            try:
+                self.store.interface(request.family, request.model)
+            except (ReproError, KeyError):
+                # Even the skeleton is gone: the output interface is
+                # unknowable, so the request cannot be answered at all.
+                self._shed(request, "store-lost")
+                return
+            self._degrade_cpu(request, reason="store-miss")
             return
         if len(self._pending) >= self.config.queue_depth:
             self._shed(request, "queue-full")

@@ -1,0 +1,103 @@
+"""Content-defined chunking of dump payloads.
+
+Dumps dominate recording size (Section 7.3), and a fleet's recordings
+of the same model family overlap heavily: a cross-SKU patched variant
+(Section 6.4) rewrites only PTE entries, leaving weights and shader
+blobs untouched. Splitting on *content* rather than fixed offsets
+makes those shared runs land in identical chunks even when the
+surrounding bytes shift, so the vault stores them once.
+
+The splitter is a gear rolling hash (Xia et al.'s FastCDC family): a
+256-entry random table indexed by the incoming byte, folded into a
+shift-and-add fingerprint. A boundary falls wherever the low
+``CHUNK_AVG_BITS`` bits of the fingerprint are all ones -- on random
+data that happens once every ``2**CHUNK_AVG_BITS`` bytes --
+constrained to ``[CHUNK_MIN, CHUNK_MAX]``. Everything is seeded and
+deterministic: the same payload always splits into the same chunks on
+every machine, which is what lets two vendors' vaults agree on chunk
+digests.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+from typing import Iterator, List
+
+#: Chunk-size bounds. Dumps are page-granular (often one 4-KiB page),
+#: so the window is small: boundaries every ~1 KiB on average keep
+#: single-page dumps at 2-6 chunks -- fine-grained enough that a
+#: patched PTE run dirties one chunk, not the whole page.
+CHUNK_MIN = 256
+CHUNK_AVG_BITS = 10
+CHUNK_MAX = 4096
+
+#: Version tag of the chunking scheme (table seed + parameters). Two
+#: vaults can only share chunks when their schemes match, so the
+#: manifest records it and the compatibility index filters on it.
+CHUNK_SCHEME = f"gear-v1/{CHUNK_MIN}-{1 << CHUNK_AVG_BITS}-{CHUNK_MAX}"
+
+_MASK64 = 0xFFFF_FFFF_FFFF_FFFF
+
+
+def _gear_table(seed: int = 0x9E3779B9) -> List[int]:
+    rng = random.Random(seed)
+    return [rng.randrange(1 << 64) for _ in range(256)]
+
+
+#: The shared gear table. Module-level so every splitter in the
+#: process (and every process, given the fixed seed) agrees.
+GEAR = _gear_table()
+
+
+def iter_boundaries(data: bytes,
+                    min_size: int = CHUNK_MIN,
+                    avg_bits: int = CHUNK_AVG_BITS,
+                    max_size: int = CHUNK_MAX) -> Iterator[int]:
+    """Yield the end offset of each chunk in ``data``, in order.
+
+    The final boundary is always ``len(data)``; empty input yields
+    nothing.
+    """
+    if min_size <= 0 or max_size < min_size:
+        raise ValueError(f"bad chunk bounds [{min_size}, {max_size}]")
+    mask = (1 << avg_bits) - 1
+    gear = GEAR
+    n = len(data)
+    start = 0
+    fingerprint = 0
+    index = 0
+    while index < n:
+        fingerprint = ((fingerprint << 1) + gear[data[index]]) & _MASK64
+        index += 1
+        length = index - start
+        if (length >= min_size and (fingerprint & mask) == mask) \
+                or length >= max_size:
+            yield index
+            start = index
+            fingerprint = 0
+    if start < n:
+        yield n
+
+
+def split(data: bytes,
+          min_size: int = CHUNK_MIN,
+          avg_bits: int = CHUNK_AVG_BITS,
+          max_size: int = CHUNK_MAX) -> List[bytes]:
+    """Split ``data`` into content-defined chunks.
+
+    Invariant: ``b"".join(split(data)) == data`` for every input,
+    including ``b""`` (which splits into no chunks) and inputs shorter
+    than ``min_size`` (one chunk).
+    """
+    out: List[bytes] = []
+    start = 0
+    for end in iter_boundaries(data, min_size, avg_bits, max_size):
+        out.append(data[start:end])
+        start = end
+    return out
+
+
+def chunk_digest(piece: bytes) -> str:
+    """Content address of one chunk (hex SHA-256 of its raw bytes)."""
+    return hashlib.sha256(piece).hexdigest()

@@ -14,7 +14,19 @@ Subcommands::
     grr inspect <file> [--digest] [--dumps]  content addressing: the
                                           recording digest the load
                                           cache keys on, per-dump hashes
-    grr bench [--suite fastpath|serve] [--json] [--check PIN]
+    grr inspect <file-or-digest> --store VAULT  chunk-level view inside
+                                          a vault: chunk count, dedup
+                                          ratio, chunks shared with
+                                          other recordings
+    grr store pack <vault> <file...>      chunk + dedup recordings into
+                                          a content-addressed vault
+    grr store ls <vault> [--family F]     the compatibility index
+    grr store fetch <vault> <digest> -o OUT  verified reassembly
+    grr store verify <vault> [digest] [--doctor]  scrub the integrity
+                                          chain; --doctor localizes
+                                          what each corruption breaks
+    grr store gc <vault>                  delete unreferenced chunks
+    grr bench [--suite fastpath|serve|store] [--json] [--check PIN]
                                           benchmark suites (no
                                           recording file needed)
     grr serve [--requests N] [--workers N] [--fault-rate P]
@@ -320,8 +332,40 @@ def cmd_stats(args) -> int:
     return 0
 
 
+def _inspect_store(args) -> int:
+    """Chunk-level view of one recording inside a vault."""
+    import os
+
+    from repro.store import Vault
+
+    vault = Vault.open(args.store)
+    if os.path.exists(args.file):
+        digest = _load(args.file).digest()
+        if digest not in vault:
+            print(f"error: {args.file} (digest {digest[:12]}) is not "
+                  f"packed in {args.store}", file=sys.stderr)
+            return 2
+    else:
+        digest = vault.resolve(args.file)
+    stats = vault.recording_stats(digest)
+    print(f"recording {digest[:12]} ({stats['workload']}) "
+          f"in {args.store}:")
+    print(f"  dump bytes:    {fmt_bytes(stats['dump_bytes'])}")
+    print(f"  chunks:        {stats['chunks']} "
+          f"({stats['unique_chunks']} distinct)")
+    print(f"  shared chunks: {stats['shared_chunks']} "
+          f"(dedup ratio {stats['dedup_ratio']:.1%})")
+    for other, count in stats["shared_with"].items():
+        entry = vault.index.entries.get(other)
+        label = f" ({entry.workload} on {entry.board})" if entry else ""
+        print(f"    {count:4d} shared with {other[:12]}{label}")
+    return 0
+
+
 def cmd_inspect(args) -> int:
     """Content-addressing view: recording digest, per-dump hashes."""
+    if args.store:
+        return _inspect_store(args)
     recording = _load(args.file)
     if args.digest and not args.dumps:
         print(recording.digest())
@@ -338,12 +382,110 @@ def cmd_inspect(args) -> int:
     return 0
 
 
+def cmd_store_pack(args) -> int:
+    """Chunk + dedup recording files into a vault."""
+    from repro.store import Vault
+
+    vault = Vault(args.vault)
+    for path in args.files:
+        recording = _load(path)
+        manifest = vault.pack(recording)
+        print(f"packed {path} -> {manifest.digest[:12]} "
+              f"({recording.meta.workload} on {manifest.board}, "
+              f"{len(manifest.chunk_refs())} chunks)")
+    stats = vault.stats()
+    print(f"vault {args.vault}: {stats.recordings} recordings, "
+          f"{stats.unique_chunks} chunks for {stats.chunk_refs} refs "
+          f"({stats.shared_chunk_ratio:.1%} shared), "
+          f"{fmt_bytes(stats.disk_bytes)} on disk for "
+          f"{fmt_bytes(stats.logical_bytes)} logical")
+    return 0
+
+
+def cmd_store_ls(args) -> int:
+    """List the compatibility index."""
+    from repro.store import Vault
+
+    vault = Vault.open(args.vault)
+    entries = vault.index.list(family=args.family)
+    if not entries:
+        print("(empty vault)" if args.family is None
+              else f"(no {args.family} recordings)")
+        return 0
+    for entry in entries:
+        clock = f"{entry.clock_hz / 1e6:.0f} MHz" if entry.clock_hz \
+            else "?"
+        print(f"{entry.digest[:12]}  {entry.family:<6} "
+              f"{entry.workload:<12} {entry.gpu_model:<10} "
+              f"{entry.board:<12} {clock:>8}  "
+              f"{fmt_bytes(entry.body_bytes)}")
+    return 0
+
+
+def cmd_store_fetch(args) -> int:
+    """Reassemble a recording out of the vault, verified by default."""
+    from repro.store import Vault
+
+    vault = Vault.open(args.vault)
+    digest = vault.resolve(args.digest)
+    recording = vault.fetch(digest, verify=not args.no_verify)
+    with open(args.output, "wb") as handle:
+        handle.write(recording.to_bytes())
+    state = "unverified" if args.no_verify else "verified"
+    print(f"fetched {digest[:12]} ({recording.meta.workload}) "
+          f"-> {args.output} ({state})")
+    return 0
+
+
+def cmd_store_verify(args) -> int:
+    """Scrub the integrity chain; exit 1 when anything is corrupt."""
+    from repro.store import Vault
+
+    vault = Vault.open(args.vault)
+    digest = vault.resolve(args.digest) if args.digest else None
+    problems = vault.verify(digest)
+    checked = 1 if digest else len(vault.digests())
+    if not problems:
+        print(f"OK: {checked} recordings verified, integrity chain "
+              f"intact")
+        return 0
+    print(f"CORRUPT: {len(problems)} of {checked} recordings damaged:")
+    for error in problems:
+        print(f"  {error}")
+    if args.doctor:
+        for error in problems:
+            if not error.recording_digest:
+                continue
+            report = vault.diagnose(error.recording_digest,
+                                    board=args.board)
+            if report is None:
+                print(f"  doctor: {error.recording_digest[:12]} still "
+                      f"replays (damage not on any executed path)")
+            else:
+                print(f"  doctor: {error.recording_digest[:12]} "
+                      f"diverges at action #{report.action_index}")
+                print(report.render())
+    return 1
+
+
+def cmd_store_gc(args) -> int:
+    """Delete chunks no manifest references."""
+    from repro.store import Vault
+
+    vault = Vault.open(args.vault)
+    removed, freed = vault.gc()
+    print(f"gc: removed {removed} unreferenced objects, "
+          f"freed {fmt_bytes(freed)}")
+    return 0
+
+
 def cmd_bench(args) -> int:
     """Run a benchmark suite; optionally guard a pin."""
     import json as json_mod
 
     from repro.bench.experiments import (measure_fastpath, measure_serve,
-                                         replay_fastpath, serve_throughput)
+                                         measure_store, replay_fastpath,
+                                         serve_throughput, store_report)
 
     if args.suite == "serve":
         def measure():
@@ -351,6 +493,12 @@ def cmd_bench(args) -> int:
         guarded = ("throughput_ratio",)
         def render():
             return serve_throughput().render()
+    elif args.suite == "store":
+        def measure():
+            return measure_store()
+        guarded = ("dedup_savings",)
+        def render():
+            return store_report().render()
     else:
         def measure():
             return measure_fastpath(family=args.family,
@@ -559,12 +707,62 @@ def build_parser() -> argparse.ArgumentParser:
                          help="print only the recording digest")
     inspect.add_argument("--dumps", action="store_true",
                          help="per-dump VA, size and content hash")
+    inspect.add_argument("--store", default=None, metavar="VAULT",
+                         help="chunk-level view inside a vault; FILE "
+                         "may be a recording file or a digest prefix")
     inspect.set_defaults(func=cmd_inspect)
+
+    store = sub.add_parser(
+        "store", help="the content-addressed recording vault: pack, "
+        "list, fetch, verify, gc")
+    store_sub = store.add_subparsers(dest="store_command", required=True)
+
+    pack = store_sub.add_parser(
+        "pack", help="chunk + dedup recording files into a vault "
+        "(created on first use)")
+    pack.add_argument("vault")
+    pack.add_argument("files", nargs="+")
+    pack.set_defaults(func=cmd_store_pack)
+
+    ls = store_sub.add_parser(
+        "ls", help="list the compatibility index")
+    ls.add_argument("vault")
+    ls.add_argument("--family", default=None,
+                    help="only this GPU family")
+    ls.set_defaults(func=cmd_store_ls)
+
+    fetch = store_sub.add_parser(
+        "fetch", help="reassemble a recording (verified by default)")
+    fetch.add_argument("vault")
+    fetch.add_argument("digest", help="full digest or unique prefix")
+    fetch.add_argument("-o", "--output", required=True)
+    fetch.add_argument("--no-verify", action="store_true",
+                       help="skip integrity checks (forensics only)")
+    fetch.set_defaults(func=cmd_store_fetch)
+
+    sverify = store_sub.add_parser(
+        "verify", help="scrub the integrity chain")
+    sverify.add_argument("vault")
+    sverify.add_argument("digest", nargs="?", default=None,
+                         help="limit to one recording (digest prefix)")
+    sverify.add_argument("--doctor", action="store_true",
+                         help="replay each corrupt recording with the "
+                         "damage in place and localize the divergence")
+    sverify.add_argument("--board", default=None,
+                         help="doctor board (defaults to the "
+                         "recording's)")
+    sverify.set_defaults(func=cmd_store_verify)
+
+    gc = store_sub.add_parser(
+        "gc", help="delete chunks no manifest references")
+    gc.add_argument("vault")
+    gc.set_defaults(func=cmd_store_gc)
 
     bench = sub.add_parser(
         "bench", help="benchmark suites: replay fast path (load cache, "
         "compiled dispatch, resident dumps) or serving throughput")
-    bench.add_argument("--suite", choices=("fastpath", "serve"),
+    bench.add_argument("--suite",
+                       choices=("fastpath", "serve", "store"),
                        default="fastpath")
     bench.add_argument("--family", default="mali")
     bench.add_argument("--model", default="dense-serve")
@@ -633,12 +831,16 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv: Optional[List[str]] = None) -> int:
     from repro.errors import SerializationError
 
+    from repro.errors import StoreNotFoundError
+
     args = build_parser().parse_args(argv)
     try:
         return args.func(args)
-    except SerializationError as error:
-        # A file that is not a recording is a usage error, like a
-        # missing file or an unknown board -- exit 2, not 1.
+    except (SerializationError, StoreNotFoundError) as error:
+        # A file that is not a recording -- or a vault/digest that is
+        # not there -- is a usage error, like a missing file or an
+        # unknown board: exit 2, not 1. Store *corruption* stays a
+        # verification failure (StoreError -> ReproError -> exit 1).
         print(f"error: {error}", file=sys.stderr)
         return 2
     except ReproError as error:

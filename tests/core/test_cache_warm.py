@@ -1,0 +1,51 @@
+"""The load cache's prefetch path: supply must not look like demand."""
+
+from repro.bench.workloads import fresh_replay_machine, get_recorded
+from repro.core.cache import LruCache
+from repro.core.replayer import LOAD_CACHE, Replayer, clear_load_cache
+
+
+class TestLruWarm:
+    def test_warm_skips_hit_miss_accounting(self):
+        cache = LruCache(capacity=4)
+        assert cache.warm("k", lambda: 41) is True
+        assert cache.warm("k", lambda: 42) is False  # already present
+        assert (cache.hits, cache.misses, cache.warms) == (0, 0, 1)
+        value, hit = cache.lookup("k")
+        assert (value, hit) == (41, True)
+        assert (cache.hits, cache.misses) == (1, 0)
+
+    def test_warm_respects_capacity(self):
+        cache = LruCache(capacity=2)
+        for key in range(3):
+            cache.warm(key, lambda k=key: k)
+        assert len(cache) == 2
+        assert cache.evictions == 1
+
+
+class TestReplayerPrefetch:
+    def test_prefetch_makes_the_next_load_warm(self):
+        clear_load_cache()
+        workload, _stack = get_recorded("mali", "mnist")
+        recording = workload.recording
+        machine = fresh_replay_machine("mali", seed=3)
+        replayer = Replayer(machine)
+        replayer.init()
+
+        misses_before = LOAD_CACHE.misses
+        assert replayer.prefetch(recording) is True
+        assert replayer.prefetch(recording) is False  # idempotent
+        assert LOAD_CACHE.misses == misses_before
+
+        cold_equivalent_ns = machine.clock.now()
+        replayer.load(recording)
+        # the load itself was warm: it hit the cache and charged the
+        # flat warm-load cost, not decompression + verification
+        assert LOAD_CACHE.hits > 0
+        assert replayer.load_ns < cold_equivalent_ns
+        result = replayer.replay(
+            inputs={workload.recording.meta.inputs[0].name:
+                    __import__("numpy").zeros(
+                        workload.input_shape, "float32")})
+        assert result.outputs
+        replayer.cleanup()

@@ -69,3 +69,73 @@ class TestFormatContract:
         assert decoded.actions == []
         assert decoded.dumps == []
         assert decoded.peak_gpu_pages() == 0
+
+
+def real_recording():
+    """A recording with actions, dumps and metadata -- enough body that
+    truncation can land in every section."""
+    from repro.core.recording import MemoryDump
+    meta = RecordingMeta(workload="trunc", gpu_model="mali-g31",
+                         family="mali", board="odroid-c4",
+                         n_jobs=2, reg_io=7)
+    actions = [act.SetGpuPgtable(memattr=1),
+               act.MapGpuMem(addr=0x1000, num_pages=2,
+                             raw_pte_flags=0x3),
+               act.Upload(dump_index=0, addr=0x1000),
+               act.RegWrite(reg="JOB_HEAD", val=0x1000,
+                            is_job_kick=True)] * 8
+    dumps = [MemoryDump(0x1000, bytes(range(256)) * 32),
+             MemoryDump(0x9000, b"\xAA" * 4096)]
+    return Recording(meta, actions, dumps)
+
+
+class TestCorruptBlobRejection:
+    """Satellite contract: a truncated or garbage blob must raise
+    SerializationError (the grr exit-2 path), never a raw
+    struct.error / EOFError / UnicodeDecodeError leaking out of the
+    decoder."""
+
+    def _assert_structured(self, blob):
+        with pytest.raises(SerializationError):
+            Recording.from_bytes(blob)
+
+    @pytest.mark.parametrize("compress", (True, False))
+    def test_truncation_at_every_region(self, compress):
+        blob = real_recording().to_bytes(compress=compress)
+        # Magic, header, and a sweep of body offsets: section
+        # boundaries are format details, so cut everywhere.
+        offsets = sorted({0, 1, 3, 4, 6, 9, 10, 11}
+                         | {len(blob) * k // 23 for k in range(1, 23)}
+                         | {len(blob) - 1})
+        for offset in offsets:
+            self._assert_structured(blob[:offset])
+
+    @pytest.mark.parametrize("compress", (True, False))
+    def test_garbage_tail_variants(self, compress):
+        """Valid header, garbage body: decode must stay structured."""
+        import random
+        blob = real_recording().to_bytes(compress=compress)
+        rng = random.Random(7)
+        for _ in range(50):
+            cut = rng.randrange(10, len(blob))
+            garbage = blob[:cut] + rng.randbytes(len(blob) - cut)
+            try:
+                Recording.from_bytes(garbage)
+            except SerializationError:
+                pass  # the only acceptable failure
+            # (decoding successfully is fine too: the damage may sit
+            # in redundant padding)
+
+    def test_pure_garbage(self):
+        self._assert_structured(b"")
+        self._assert_structured(b"\x00" * 64)
+        self._assert_structured(b"GRRC")  # magic alone
+        self._assert_structured(b"not a recording at all........")
+
+    def test_grr_exits_2_on_truncated_file(self, tmp_path):
+        from repro.tools.grr import main
+        blob = real_recording().to_bytes()
+        for offset in (5, len(blob) // 3, len(blob) - 2):
+            path = tmp_path / f"trunc{offset}.grr"
+            path.write_bytes(blob[:offset])
+            assert main(["info", str(path)]) == 2

@@ -1,0 +1,167 @@
+"""Fuzz the content-defined chunker and the chunked store round-trip.
+
+The chunker's one hard invariant is losslessness: concatenating the
+chunks reproduces the input byte-for-byte, for every input. On top of
+that, the whole pack/fetch path must preserve ``Recording.digest()``
+exactly -- the digest is what every cache and manifest keys on, so a
+single silently-moved byte would poison the entire content-addressed
+world.
+"""
+
+import random
+
+import pytest
+
+from repro.core.recording import (MemoryDump, Recording, RecordingMeta,
+                                  decode_skeleton, encode_skeleton)
+from repro.store import CHUNK_MAX, CHUNK_MIN, Vault, chunk_digest, split
+from tests.serve.test_recording_fuzz import synthetic_recording
+
+
+def _random_blob(rng: random.Random) -> bytes:
+    kind = rng.randrange(4)
+    n = rng.randrange(1, 64 * 1024)
+    if kind == 0:
+        return rng.randbytes(n)
+    if kind == 1:
+        return bytes(n)  # all zeros: degenerate gear input
+    if kind == 2:
+        return bytes([rng.randrange(4)]) * n  # one repeated byte
+    # structured: repeated motif with point mutations
+    motif = rng.randbytes(rng.randrange(16, 512))
+    data = bytearray((motif * (n // len(motif) + 1))[:n])
+    for _ in range(rng.randrange(8)):
+        data[rng.randrange(len(data))] ^= 0xFF
+    return bytes(data)
+
+
+class TestSplitInvariants:
+    @pytest.mark.parametrize("seed", range(40))
+    def test_lossless_and_bounded(self, seed):
+        rng = random.Random(seed)
+        data = _random_blob(rng)
+        chunks = split(data)
+        assert b"".join(chunks) == data
+        assert all(chunks), "empty chunk emitted"
+        for piece in chunks[:-1]:
+            assert CHUNK_MIN <= len(piece) <= CHUNK_MAX
+        assert len(chunks[-1]) <= CHUNK_MAX
+
+    def test_empty_input(self):
+        assert split(b"") == []
+
+    def test_single_byte(self):
+        assert split(b"\x42") == [b"\x42"]
+
+    def test_sub_minimum_input_is_one_chunk(self):
+        data = bytes(range(CHUNK_MIN - 1))
+        assert split(data) == [data]
+
+    def test_deterministic_across_calls(self):
+        data = random.Random(3).randbytes(32 * 1024)
+        first = split(data)
+        assert split(data) == first
+        assert [chunk_digest(c) for c in first] == \
+            [chunk_digest(c) for c in split(data)]
+
+    def test_boundaries_are_content_defined(self):
+        """Shifting content must not shift every boundary: a prefix
+        insertion leaves the tail chunks identical (the dedup
+        property fixed-size chunking lacks)."""
+        rng = random.Random(11)
+        data = rng.randbytes(48 * 1024)
+        shifted = rng.randbytes(7) + data
+        tail = set(chunk_digest(c) for c in split(data)[2:])
+        shifted_digests = set(chunk_digest(c) for c in split(shifted))
+        assert len(tail & shifted_digests) >= len(tail) * 3 // 4
+
+    @pytest.mark.parametrize("seed", range(10))
+    def test_custom_bounds(self, seed):
+        rng = random.Random(1000 + seed)
+        data = _random_blob(rng)
+        lo = rng.randrange(1, 512)
+        hi = lo + rng.randrange(1, 4096)
+        chunks = split(data, min_size=lo, max_size=hi)
+        assert b"".join(chunks) == data
+        for piece in chunks[:-1]:
+            assert lo <= len(piece) <= hi
+
+
+class TestSkeletonHooks:
+    @pytest.mark.parametrize("seed", range(15))
+    def test_skeleton_round_trip(self, seed):
+        recording = synthetic_recording(seed)
+        skeleton = encode_skeleton(recording)
+        decoded = decode_skeleton(
+            skeleton, [d.data for d in recording.dumps])
+        assert decoded.digest() == recording.digest()
+
+    def test_payload_count_mismatch_is_structured(self):
+        from repro.errors import SerializationError
+        recording = synthetic_recording(1)
+        skeleton = encode_skeleton(recording)
+        with pytest.raises(SerializationError):
+            decode_skeleton(skeleton, [])
+        with pytest.raises(SerializationError):
+            decode_skeleton(
+                skeleton,
+                [d.data for d in recording.dumps] + [b"extra"])
+
+    def test_payload_size_mismatch_is_structured(self):
+        from repro.errors import SerializationError
+        recording = synthetic_recording(2)
+        if not recording.dumps:
+            recording = synthetic_recording(3)
+        assert recording.dumps
+        payloads = [d.data for d in recording.dumps]
+        payloads[0] = payloads[0] + b"\x00"
+        with pytest.raises(SerializationError):
+            decode_skeleton(encode_skeleton(recording), payloads)
+
+
+def _store_round_trip(tmp_path, recording: Recording) -> Recording:
+    vault = Vault(str(tmp_path / "vault"))
+    manifest = vault.pack(recording)
+    return vault.fetch(manifest.digest)
+
+
+class TestStoreRoundTripFuzz:
+    """Satellite contract: random chunk-boundary sizes, empty dumps,
+    single-byte dumps -- ``Recording.digest()`` survives them all."""
+
+    @pytest.mark.parametrize("seed", range(25))
+    def test_synthetic_recordings(self, tmp_path, seed):
+        recording = synthetic_recording(seed)
+        fetched = _store_round_trip(tmp_path, recording)
+        assert fetched.digest() == recording.digest()
+        assert fetched.to_bytes() == recording.to_bytes()
+
+    @pytest.mark.parametrize("sizes", [
+        (0,),                       # empty dump
+        (1,),                       # single byte
+        (0, 1, 0),                  # empties interleaved
+        (CHUNK_MIN - 1,),           # below the chunker minimum
+        (CHUNK_MIN,), (CHUNK_MAX,),
+        (CHUNK_MAX + 1,),           # forces a max-size boundary
+        (CHUNK_MAX * 3 + 7, 1, 0, CHUNK_MIN),
+    ])
+    def test_chunk_boundary_sizes(self, tmp_path, sizes):
+        rng = random.Random(sum(sizes))
+        dumps = [MemoryDump(0x10000 * (i + 1), rng.randbytes(n))
+                 for i, n in enumerate(sizes)]
+        recording = Recording(RecordingMeta(workload="edge"), [], dumps)
+        fetched = _store_round_trip(tmp_path, recording)
+        assert fetched.digest() == recording.digest()
+        assert [d.data for d in fetched.dumps] == \
+            [d.data for d in recording.dumps]
+
+    @pytest.mark.parametrize("seed", range(10))
+    def test_random_dump_sizes(self, tmp_path, seed):
+        rng = random.Random(9000 + seed)
+        dumps = [MemoryDump((i + 1) << 20,
+                            rng.randbytes(rng.randrange(0, 3 * CHUNK_MAX)))
+                 for i in range(rng.randrange(1, 6))]
+        recording = Recording(RecordingMeta(workload=f"fuzz{seed}"),
+                              [], dumps)
+        fetched = _store_round_trip(tmp_path, recording)
+        assert fetched.digest() == recording.digest()
