@@ -98,10 +98,12 @@ def build_stack(family: str, model_name: str, fuse: bool = False,
 
 
 def fresh_replay_machine(family: str, seed: int = 1000,
-                         board: Optional[str] = None) -> Machine:
+                         board: Optional[str] = None,
+                         flight_capacity: Optional[int] = None) -> Machine:
     """A machine for the replay side, GPU power configured by the host
     kernel (the D1 userspace/kernel deployments)."""
-    machine = Machine.create(board or board_for_family(family), seed=seed)
+    machine = Machine.create(board or board_for_family(family), seed=seed,
+                             flight_capacity=flight_capacity)
     host_kernel_configures_gpu(machine)
     return machine
 

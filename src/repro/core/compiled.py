@@ -286,10 +286,13 @@ class CompiledExecutor:
         if kind == _UPLOAD:
             _, addr, data, digest, size = spec
             upload = nano.upload
+            clock = nano.clock
             if not live:
                 def step(i):
+                    t0 = clock.now()
                     uploaded = upload(addr, data, digest=digest)
                     stats = self.stats
+                    stats.upload_ns += clock.now() - t0
                     stats.upload_bytes += uploaded
                     skipped = size - uploaded
                     if skipped:
@@ -300,8 +303,10 @@ class CompiledExecutor:
             skip_ctr = obs.counter("replay.upload_skipped_bytes")
 
             def step(i):
+                t0 = clock.now()
                 uploaded = upload(addr, data, digest=digest)
                 stats = self.stats
+                stats.upload_ns += clock.now() - t0
                 stats.upload_bytes += uploaded
                 uploads_ctr.inc()
                 bytes_ctr.inc(uploaded)
@@ -317,8 +322,12 @@ class CompiledExecutor:
             clock = nano.clock
             if not live:
                 def step(i):
-                    self.stats.irqs_waited += 1
-                    if not wait_irq(timeout_ns):
+                    stats = self.stats
+                    stats.irqs_waited += 1
+                    t0 = clock.now()
+                    ok = wait_irq(timeout_ns)
+                    stats.irq_wait_ns += clock.now() - t0
+                    if not ok:
                         raise ReplayTimeout(
                             "no GPU interrupt arrived in time", i, src)
                 return step
@@ -327,11 +336,14 @@ class CompiledExecutor:
                                  LATENCY_BUCKETS_NS)
 
             def step(i):
-                self.stats.irqs_waited += 1
+                stats = self.stats
+                stats.irqs_waited += 1
                 ctr.inc()
                 t0 = clock.now()
                 ok = wait_irq(timeout_ns)
-                hist.observe(clock.now() - t0)
+                waited = clock.now() - t0
+                stats.irq_wait_ns += waited
+                hist.observe(waited)
                 if not ok:
                     raise ReplayTimeout(
                         "no GPU interrupt arrived in time", i, src)
@@ -344,7 +356,10 @@ class CompiledExecutor:
             if not live:
                 def step(i):
                     if nano.pending_irqs == 0:
-                        if not wait_irq(IMPLICIT_IRQ_TIMEOUT_NS):
+                        t0 = clock.now()
+                        ok = wait_irq(IMPLICIT_IRQ_TIMEOUT_NS)
+                        self.stats.irq_wait_ns += clock.now() - t0
+                        if not ok:
                             raise ReplayTimeout(
                                 "no GPU interrupt for asynchronous irq "
                                 "context", i, src)
@@ -361,7 +376,9 @@ class CompiledExecutor:
                     ctr.inc()
                     t0 = clock.now()
                     ok = wait_irq(IMPLICIT_IRQ_TIMEOUT_NS)
-                    hist.observe(clock.now() - t0)
+                    waited = clock.now() - t0
+                    self.stats.irq_wait_ns += waited
+                    hist.observe(waited)
                     if not ok:
                         raise ReplayTimeout(
                             "no GPU interrupt for asynchronous irq "

@@ -58,6 +58,11 @@ class InterpreterStats:
     #: Bytes Upload actions skipped because identical content was
     #: already GPU-resident (repeated replays, recovery retries).
     upload_skipped_bytes: int = 0
+    #: Virtual time spent inside Upload actions (resident-check or DMA).
+    upload_ns: int = 0
+    #: Virtual time spent blocked on GPU interrupts (WaitIrq plus the
+    #: implicit wait synthesized for asynchronous IrqEnter).
+    irq_wait_ns: int = 0
     #: Virtual time of the first job-kick write (GR "startup" ends here).
     first_kick_at_ns: int = -1
 
@@ -204,8 +209,10 @@ class ReplayInterpreter:
             nano.unmap_gpu_mem(action.addr, action.num_pages)
         elif isinstance(action, act.Upload):
             dump = self.recording.dumps[action.dump_index]
+            t0 = nano.clock.now()
             uploaded = nano.upload(action.addr, dump.data,
                                    digest=dump.digest)
+            self.stats.upload_ns += nano.clock.now() - t0
             self.stats.upload_bytes += uploaded
             obs.counter("replay.uploads").inc()
             obs.counter("replay.upload_bytes").inc(uploaded)
@@ -218,8 +225,10 @@ class ReplayInterpreter:
             obs.counter("replay.irq_waits").inc()
             t0 = nano.clock.now()
             ok = nano.wait_irq(action.timeout_ns)
+            waited = nano.clock.now() - t0
+            self.stats.irq_wait_ns += waited
             obs.histogram("replay.irq_wait_ns",
-                          LATENCY_BUCKETS_NS).observe(nano.clock.now() - t0)
+                          LATENCY_BUCKETS_NS).observe(waited)
             if not ok:
                 raise ReplayTimeout(
                     "no GPU interrupt arrived in time", index, action.src)
@@ -230,9 +239,11 @@ class ReplayInterpreter:
                 obs.counter("replay.irq_waits").inc()
                 t0 = nano.clock.now()
                 ok = nano.wait_irq(IMPLICIT_IRQ_TIMEOUT_NS)
+                waited = nano.clock.now() - t0
+                self.stats.irq_wait_ns += waited
                 obs.histogram(
                     "replay.irq_wait_ns",
-                    LATENCY_BUCKETS_NS).observe(nano.clock.now() - t0)
+                    LATENCY_BUCKETS_NS).observe(waited)
                 if not ok:
                     raise ReplayTimeout(
                         "no GPU interrupt for asynchronous irq context",

@@ -121,6 +121,11 @@ class Replayer:
         self.program: Optional[CompiledProgram] = None
         self.init_ns = 0
         self.load_ns = 0
+        #: What the most recent :meth:`load` did -- ``cache`` is
+        #: ``"hit"``/``"miss"``, ``warm`` says whether this replayer
+        #: paid only :data:`WARM_LOAD_NS`. Read by the serving engine's
+        #: request tracer; purely informational.
+        self.last_load_info: Dict[str, object] = {}
         #: Delay window of the most recent §5.4 injected-delay retry.
         self.last_delay_range: Optional[Tuple[int, int]] = None
         self._executor: Optional[CompiledExecutor] = None
@@ -204,6 +209,10 @@ class Replayer:
                       args={"workload": recording.meta.workload,
                             "actions": len(recording.actions)}):
             entry, hit = LOAD_CACHE.lookup(key)
+            warm = key in self._warm_keys
+            self.last_load_info = {
+                "cache": "hit" if hit else "miss", "warm": warm,
+                "workload": recording.meta.workload}
             if hit:
                 obs.counter("replay.cache.hits").inc()
                 report, program = entry
@@ -465,6 +474,8 @@ class Replayer:
             stats.pacing_wait_ns += result.stats.pacing_wait_ns
             stats.upload_bytes += result.stats.upload_bytes
             stats.upload_skipped_bytes += result.stats.upload_skipped_bytes
+            stats.upload_ns += result.stats.upload_ns
+            stats.irq_wait_ns += result.stats.irq_wait_ns
         return ReplayResult(
             outputs=result.outputs,
             duration_ns=self.machine.clock.now() - t_start,

@@ -16,6 +16,13 @@ the one place all of that telemetry flows through:
   timeline (used by tests, ``grr trace`` and the CI smoke job);
 - :mod:`repro.obs.flight` -- the always-on bounded flight recorder
   every machine carries (forensics for ``grr doctor``);
+- :mod:`repro.obs.rtrace` -- request-scoped tracing for the serving
+  path: one causal span tree per request, JSONL/Chrome export,
+  completeness validation (event-log schema v1);
+- :mod:`repro.obs.attribution` -- tail-latency attribution over
+  rtrace logs (exclusive-time decomposition by stage);
+- :mod:`repro.obs.slo` -- declarative latency/error-budget objectives
+  with sliding-window burn rates and deterministic alerts;
 - :mod:`repro.obs.doctor` -- divergence localization and failure
   forensics (NOT imported here: it depends on the replayer, which
   depends on the machine, which imports this package -- import it
@@ -26,27 +33,52 @@ clock. Enabling it must change recorded/replayed virtual-time results
 by exactly zero.
 """
 
+from repro.obs.attribution import AttributionReport, attribute
 from repro.obs.chrome_trace import validate_chrome_trace
 from repro.obs.metrics import (LATENCY_BUCKETS_NS, SIZE_BUCKETS_BYTES,
                                Counter, Gauge, Histogram, MetricsRegistry,
-                               global_registry)
+                               global_registry, snapshot_diff)
+from repro.obs.rtrace import (NULL_RTRACE, NullRequestTracer,
+                              RequestTracer, SpanNode, events_to_chrome,
+                              events_to_jsonl, load_events, span_trees,
+                              validate_events)
 from repro.obs.session import (NULL_OBS, NullObservability, Observability,
                                enable_observability)
+from repro.obs.slo import (SloAlert, SloResult, SloSpec, default_slos,
+                           evaluate_slos, slo_report)
 from repro.obs.tracer import SpanTracer, Track
 
 __all__ = [
+    "AttributionReport",
     "Counter",
     "Gauge",
     "Histogram",
     "LATENCY_BUCKETS_NS",
     "MetricsRegistry",
     "NULL_OBS",
+    "NULL_RTRACE",
     "NullObservability",
+    "NullRequestTracer",
     "Observability",
+    "RequestTracer",
     "SIZE_BUCKETS_BYTES",
+    "SloAlert",
+    "SloResult",
+    "SloSpec",
+    "SpanNode",
     "SpanTracer",
     "Track",
+    "attribute",
+    "default_slos",
     "enable_observability",
+    "evaluate_slos",
+    "events_to_chrome",
+    "events_to_jsonl",
     "global_registry",
+    "load_events",
+    "slo_report",
+    "snapshot_diff",
+    "span_trees",
     "validate_chrome_trace",
+    "validate_events",
 ]

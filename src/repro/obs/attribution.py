@@ -1,0 +1,151 @@
+"""Tail-latency attribution over request-scoped event logs.
+
+Answers the question the ROADMAP's fleet-serving item lives or dies
+on: *where does p99 virtual time actually go?* Given an rtrace event
+log (:mod:`repro.obs.rtrace`) and a percentile band, the analyzer
+selects the requests whose end-to-end latency falls in that band and
+folds their span trees into per-stage *exclusive* time -- the time a
+span owned that no child span accounts for. Because each request's
+exclusive times sum exactly to its root duration (see
+:meth:`~repro.obs.rtrace.SpanNode.exclusive_ns`), the ranked stage
+totals always sum to the band's end-to-end latency: the decomposition
+is exhaustive by construction, never "85% explained".
+
+Stage names are the span names the serving engine emits (``queue``,
+``attempt``, ``load``, ``replay``, ``upload``, ``exec``, ``pacing``,
+``driver``, ``backoff``, ``cpu``, ...); the root ``request`` span's
+own exclusive time -- admission bookkeeping and completion plumbing
+-- reports as ``request``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.errors import ObsError
+from repro.obs.rtrace import SpanNode, span_trees
+
+
+@dataclass
+class StageCost:
+    """One stage's share of a band's virtual time."""
+
+    stage: str
+    total_ns: int
+    count: int
+    requests: int
+
+    def to_dict(self) -> Dict[str, object]:
+        return {"stage": self.stage, "total_ns": self.total_ns,
+                "count": self.count, "requests": self.requests}
+
+
+@dataclass
+class AttributionReport:
+    """Where a latency band's virtual time went, ranked."""
+
+    p_lo: float
+    p_hi: float
+    requests: List[int]
+    band_floor_ns: int
+    band_ceil_ns: int
+    total_ns: int
+    stages: List[StageCost] = field(default_factory=list)
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "band": [self.p_lo, self.p_hi],
+            "requests": list(self.requests),
+            "band_floor_ns": self.band_floor_ns,
+            "band_ceil_ns": self.band_ceil_ns,
+            "total_ns": self.total_ns,
+            "stages": [s.to_dict() for s in self.stages],
+        }
+
+    def render(self) -> str:
+        lines = [
+            f"latency band p{self.p_lo:g}-p{self.p_hi:g}: "
+            f"{len(self.requests)} request(s), "
+            f"{self.band_floor_ns / 1e6:.3f}-"
+            f"{self.band_ceil_ns / 1e6:.3f} ms end-to-end",
+            f"total accounted: {self.total_ns / 1e6:.3f} ms "
+            "(stages sum to end-to-end by construction)",
+        ]
+        for cost in self.stages:
+            share = (cost.total_ns / self.total_ns * 100
+                     if self.total_ns else 0.0)
+            lines.append(
+                f"  {cost.stage:<12} {cost.total_ns / 1e6:>10.3f} ms "
+                f"{share:>6.2f}%  ({cost.count} span(s) across "
+                f"{cost.requests} request(s))")
+        return "\n".join(lines)
+
+
+def _latency(root: SpanNode) -> int:
+    return root.duration_ns
+
+
+def attribute(events: Sequence[dict], p_lo: float = 99.0,
+              p_hi: float = 100.0,
+              statuses: Optional[Sequence[str]] = None
+              ) -> AttributionReport:
+    """Decompose the [p_lo, p_hi] latency band of an event log.
+
+    Band selection is nearest-rank over the end-to-end latencies of
+    requests whose terminal status is in ``statuses`` (default: every
+    status except ``shed`` -- a shed request's latency measures the
+    shed policy, not the serving path). ``attribute(events, 99)`` is
+    "decompose p99 and above".
+    """
+    if not 0.0 <= p_lo <= p_hi <= 100.0:
+        raise ObsError(f"bad percentile band [{p_lo}, {p_hi}]")
+    roots = span_trees(events)
+    keep = []
+    for rid in sorted(roots):
+        root = roots[rid]
+        status = str(root.args.get("status", "?"))
+        if statuses is None:
+            if status == "shed":
+                continue
+        elif status not in statuses:
+            continue
+        keep.append((rid, root))
+    if not keep:
+        return AttributionReport(p_lo, p_hi, [], 0, 0, 0, [])
+
+    ranked = sorted(keep, key=lambda item: (_latency(item[1]), item[0]))
+    n = len(ranked)
+    # Nearest-rank band edges: [p_lo, p_hi] covers ranks
+    # ceil(p_lo/100 * n) .. ceil(p_hi/100 * n), 1-based, lower edge
+    # exclusive so p0-p100 is everything and p99-p100 is the top 1%
+    # (at least one request).
+    lo_rank = min(int(p_lo / 100.0 * n), n - 1)
+    hi_rank = max(1, math.ceil(p_hi / 100.0 * n))
+    band = ranked[lo_rank:hi_rank]
+    if not band:
+        band = ranked[-1:]
+
+    stage_ns: Dict[str, int] = {}
+    stage_count: Dict[str, int] = {}
+    stage_reqs: Dict[str, set] = {}
+    total = 0
+    for rid, root in band:
+        total += root.duration_ns
+        for node in root.walk():
+            ns = node.exclusive_ns
+            stage_ns[node.name] = stage_ns.get(node.name, 0) + ns
+            stage_count[node.name] = stage_count.get(node.name, 0) + 1
+            stage_reqs.setdefault(node.name, set()).add(rid)
+    stages = [
+        StageCost(name, stage_ns[name], stage_count[name],
+                  len(stage_reqs[name]))
+        for name in stage_ns]
+    stages.sort(key=lambda s: (-s.total_ns, s.stage))
+    return AttributionReport(
+        p_lo=p_lo, p_hi=p_hi,
+        requests=[rid for rid, _ in band],
+        band_floor_ns=min(_latency(r) for _, r in band),
+        band_ceil_ns=max(_latency(r) for _, r in band),
+        total_ns=total, stages=stages)

@@ -94,8 +94,11 @@ class FlightRecorder:
 
     __slots__ = ("ring", "seq", "action_index", "_tape")
 
-    def __init__(self, ring_size: int = DEFAULT_RING_SIZE):
-        self.ring: deque = deque(maxlen=ring_size)
+    def __init__(self, capacity: int = DEFAULT_RING_SIZE):
+        if capacity < 1:
+            raise ValueError(
+                f"flight recorder capacity must be >= 1, got {capacity}")
+        self.ring: deque = deque(maxlen=capacity)
         #: Total events ever recorded; the next event's sequence number.
         self.seq = 0
         #: Replay action currently executing (set by the interpreters).
@@ -116,7 +119,12 @@ class FlightRecorder:
     # -- capacity accounting --------------------------------------------------
 
     @property
+    def capacity(self) -> int:
+        return self.ring.maxlen or 0
+
+    @property
     def ring_size(self) -> int:
+        """Alias for :attr:`capacity` (stable report-schema name)."""
         return self.ring.maxlen or 0
 
     @property

@@ -89,6 +89,17 @@ class Histogram:
     def mean(self) -> float:
         return self.sum / self.count if self.count else 0.0
 
+    @property
+    def overflow_count(self) -> int:
+        """Observations above the last boundary.
+
+        These are invisible to :meth:`percentile` beyond the clamp to
+        the last edge, so snapshots report them explicitly: a non-zero
+        overflow count is the signal that high quantiles are
+        underestimates and the boundaries need widening.
+        """
+        return self.bucket_counts[-1]
+
     def percentile(self, q: float) -> float:
         """Estimate the q-th percentile from the bucket counts.
 
@@ -107,9 +118,11 @@ class Histogram:
         cumulative = 0.0
         lower = 0.0
         for i, bucket_count in enumerate(self.bucket_counts):
-            upper = float(self.boundaries[i]
-                          if i < len(self.boundaries)
-                          else self.boundaries[-1])
+            if i == len(self.boundaries):
+                # Overflow bucket: no upper edge, so any rank landing
+                # here clamps to the last boundary (see docstring).
+                return float(self.boundaries[-1])
+            upper = float(self.boundaries[i])
             if bucket_count and cumulative + bucket_count >= rank:
                 fraction = (rank - cumulative) / bucket_count
                 return lower + (upper - lower) * fraction
@@ -180,6 +193,7 @@ class MetricsRegistry:
                     "bucket_counts": list(hist.bucket_counts),
                     "count": hist.count,
                     "sum": hist.sum,
+                    "overflow_count": hist.overflow_count,
                     "p50": hist.percentile(50),
                     "p95": hist.percentile(95),
                     "p99": hist.percentile(99),
@@ -188,6 +202,56 @@ class MetricsRegistry:
 
     def reset(self) -> None:
         self._metrics.clear()
+
+
+def snapshot_diff(before: Dict[str, Dict[str, object]],
+                  after: Dict[str, Dict[str, object]]
+                  ) -> Dict[str, object]:
+    """Structured comparison of two :meth:`MetricsRegistry.snapshot` dumps.
+
+    Returns a JSON-serializable report with, per metric kind, the
+    series that appeared (``added``), vanished (``removed``), and
+    changed value (``changed``). Counters and gauges report numeric
+    deltas; histograms report count/sum deltas plus percentile shifts
+    -- the before/after triage view ``grr stats --diff`` renders.
+    """
+    report: Dict[str, object] = {}
+    for kind in ("counters", "gauges"):
+        a = dict(before.get(kind) or {})
+        b = dict(after.get(kind) or {})
+        added = {name: b[name] for name in sorted(set(b) - set(a))}
+        removed = {name: a[name] for name in sorted(set(a) - set(b))}
+        changed = {}
+        for name in sorted(set(a) & set(b)):
+            if a[name] != b[name]:
+                changed[name] = {
+                    "before": a[name], "after": b[name],
+                    "delta": b[name] - a[name],
+                }
+        report[kind] = {
+            "added": added, "removed": removed, "changed": changed}
+    a = dict(before.get("histograms") or {})
+    b = dict(after.get("histograms") or {})
+    hadded = {name: b[name] for name in sorted(set(b) - set(a))}
+    hremoved = {name: a[name] for name in sorted(set(a) - set(b))}
+    hchanged: Dict[str, object] = {}
+    for name in sorted(set(a) & set(b)):
+        ha, hb = a[name], b[name]
+        if ha == hb:
+            continue
+        entry: Dict[str, object] = {
+            "count_delta": hb.get("count", 0) - ha.get("count", 0),
+            "sum_delta": hb.get("sum", 0) - ha.get("sum", 0),
+            "overflow_delta": (hb.get("overflow_count", 0)
+                               - ha.get("overflow_count", 0)),
+        }
+        for p in ("p50", "p95", "p99"):
+            pa, pb = ha.get(p, 0.0), hb.get(p, 0.0)
+            entry[p] = {"before": pa, "after": pb, "shift": pb - pa}
+        hchanged[name] = entry
+    report["histograms"] = {
+        "added": hadded, "removed": hremoved, "changed": hchanged}
+    return report
 
 
 #: Process-wide registry for telemetry that is not tied to one machine

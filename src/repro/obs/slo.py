@@ -1,0 +1,229 @@
+"""Declarative SLOs with burn rates over sliding virtual-time windows.
+
+An :class:`SloSpec` states an objective over the serving path -- "99%
+of requests answer under 50 ms", "99.9% of requests are not shed" --
+and the evaluator replays an rtrace event log
+(:mod:`repro.obs.rtrace`) against it. Evaluation is event-driven on
+the deterministic virtual clock: at each request's terminal event the
+trailing window's failure rate is recomputed, the *burn rate* (failure
+rate divided by the error budget ``1 - target``) is updated, and
+alerts fire/clear as the burn crosses the threshold. Everything is a
+pure function of the event log, so same-seed serve runs produce
+byte-identical SLO reports -- alert timestamps included -- which is
+what lets CI diff them.
+
+Burn-rate semantics follow the standard error-budget reading: burn
+1.0 means the window is consuming exactly its budget (the objective
+holds with nothing to spare); burn 2.0 at threshold (the default)
+means the budget would be exhausted in half the period the window
+represents. Latency objectives count a request as *good* when its
+end-to-end virtual latency is <= ``latency_ns`` AND its terminal
+status is in ``good_statuses``; availability objectives
+(``latency_ns=None``) count status alone.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import ObsError
+from repro.obs.rtrace import span_trees
+from repro.units import MS, SEC
+
+#: Statuses that count as "answered correctly" by default: everything
+#: the failure ladder saved, however slowly ("ok" is the fast path,
+#: "degraded" covers reference and CPU answers), but not sheds.
+DEFAULT_GOOD_STATUSES = ("ok", "degraded")
+
+
+@dataclass(frozen=True)
+class SloSpec:
+    """One objective: a target fraction of good requests in a window."""
+
+    name: str
+    #: Fraction of requests that must be good, e.g. 0.99.
+    target: float
+    #: Latency cutoff for "good" (None = availability-only objective).
+    latency_ns: Optional[int] = None
+    #: Sliding window the rate is computed over (virtual time).
+    window_ns: int = 1 * SEC
+    #: Terminal statuses that count as good.
+    good_statuses: Tuple[str, ...] = DEFAULT_GOOD_STATUSES
+    #: Burn rate at/above which the alert fires.
+    burn_threshold: float = 2.0
+
+    def validate(self) -> None:
+        if not 0.0 < self.target < 1.0:
+            raise ObsError(
+                f"slo {self.name}: target must be in (0, 1)")
+        if self.window_ns <= 0:
+            raise ObsError(f"slo {self.name}: window must be positive")
+        if self.burn_threshold <= 0:
+            raise ObsError(
+                f"slo {self.name}: burn threshold must be positive")
+
+
+#: The default objective set ``grr slo`` evaluates: one latency SLO at
+#: the deadline scale, one availability SLO over sheds.
+def default_slos(deadline_ns: int = 100 * MS) -> List[SloSpec]:
+    return [
+        SloSpec(name="latency", target=0.99, latency_ns=deadline_ns),
+        SloSpec(name="availability", target=0.95, latency_ns=None),
+    ]
+
+
+@dataclass
+class SloAlert:
+    """One fire or clear transition of an objective's alert."""
+
+    slo: str
+    kind: str  # "fire" | "clear"
+    t_ns: int
+    burn: float
+    window_good: int
+    window_total: int
+
+    def to_dict(self) -> Dict[str, object]:
+        return {"slo": self.slo, "kind": self.kind, "t_ns": self.t_ns,
+                "burn": self.burn, "window_good": self.window_good,
+                "window_total": self.window_total}
+
+
+@dataclass
+class SloResult:
+    """One objective's outcome over a whole run."""
+
+    spec: SloSpec
+    total: int
+    good: int
+    max_burn: float
+    max_burn_t_ns: int
+    alerts: List[SloAlert] = field(default_factory=list)
+
+    @property
+    def compliance(self) -> float:
+        return self.good / self.total if self.total else 1.0
+
+    @property
+    def budget_consumed(self) -> float:
+        """Fraction of the whole-run error budget spent (>1 = blown)."""
+        if not self.total:
+            return 0.0
+        budget = (1.0 - self.spec.target) * self.total
+        return (self.total - self.good) / budget if budget else 0.0
+
+    @property
+    def met(self) -> bool:
+        return self.compliance >= self.spec.target
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "name": self.spec.name,
+            "target": self.spec.target,
+            "latency_ns": self.spec.latency_ns,
+            "window_ns": self.spec.window_ns,
+            "burn_threshold": self.spec.burn_threshold,
+            "total": self.total,
+            "good": self.good,
+            "compliance": self.compliance,
+            "budget_consumed": self.budget_consumed,
+            "met": self.met,
+            "max_burn": self.max_burn,
+            "max_burn_t_ns": self.max_burn_t_ns,
+            "alerts": [a.to_dict() for a in self.alerts],
+        }
+
+    def render(self) -> str:
+        state = "MET" if self.met else "MISSED"
+        cutoff = (f" <= {self.spec.latency_ns / 1e6:g} ms"
+                  if self.spec.latency_ns is not None else "")
+        lines = [
+            f"{self.spec.name}: {state}  target "
+            f"{self.spec.target:.2%}{cutoff}  compliance "
+            f"{self.compliance:.2%} ({self.good}/{self.total})  "
+            f"budget consumed {self.budget_consumed:.2f}x  "
+            f"max burn {self.max_burn:.2f} "
+            f"@ {self.max_burn_t_ns / 1e6:.3f} ms"]
+        for alert in self.alerts:
+            lines.append(
+                f"  alert {alert.kind:<5} @ {alert.t_ns / 1e6:.3f} ms "
+                f"burn {alert.burn:.2f} "
+                f"({alert.window_good}/{alert.window_total} good in "
+                "window)")
+        return "\n".join(lines)
+
+
+def evaluate_slos(events: Sequence[dict],
+                  specs: Optional[Sequence[SloSpec]] = None
+                  ) -> List[SloResult]:
+    """Evaluate objectives against an event log, deterministically.
+
+    Terminal events are processed in virtual-time order (rid breaking
+    ties); each drives one window update per objective. The output
+    depends only on the event log and the specs.
+    """
+    specs = list(specs) if specs is not None else default_slos()
+    for spec in specs:
+        spec.validate()
+
+    roots = span_trees(events)
+    terminals = sorted(
+        ((root.end_ns, rid, root.duration_ns,
+          str(root.args.get("status", "?")))
+         for rid, root in roots.items()),
+        key=lambda item: (item[0], item[1]))
+
+    results = []
+    for spec in specs:
+        window: deque = deque()  # (t_ns, good)
+        good_in_window = 0
+        total_good = 0
+        firing = False
+        max_burn = 0.0
+        max_burn_t = 0
+        alerts: List[SloAlert] = []
+        budget = 1.0 - spec.target
+        for t_ns, rid, latency_ns, status in terminals:
+            good = status in spec.good_statuses
+            if good and spec.latency_ns is not None:
+                good = latency_ns <= spec.latency_ns
+            total_good += 1 if good else 0
+            window.append((t_ns, good))
+            good_in_window += 1 if good else 0
+            horizon = t_ns - spec.window_ns
+            while window and window[0][0] <= horizon:
+                _, was_good = window.popleft()
+                good_in_window -= 1 if was_good else 0
+            total = len(window)
+            error_rate = (total - good_in_window) / total
+            burn = error_rate / budget
+            if burn > max_burn:
+                max_burn = burn
+                max_burn_t = t_ns
+            if burn >= spec.burn_threshold and not firing:
+                firing = True
+                alerts.append(SloAlert(spec.name, "fire", t_ns, burn,
+                                       good_in_window, total))
+            elif burn < spec.burn_threshold and firing:
+                firing = False
+                alerts.append(SloAlert(spec.name, "clear", t_ns, burn,
+                                       good_in_window, total))
+        results.append(SloResult(
+            spec=spec, total=len(terminals), good=total_good,
+            max_burn=max_burn, max_burn_t_ns=max_burn_t,
+            alerts=alerts))
+    return results
+
+
+def slo_report(events: Sequence[dict],
+               specs: Optional[Sequence[SloSpec]] = None
+               ) -> Dict[str, object]:
+    """The JSON-shaped report ``grr slo`` prints (deterministic)."""
+    results = evaluate_slos(events, specs)
+    return {
+        "schema": "slo.v1",
+        "requests": len(span_trees(events)),
+        "slos": [result.to_dict() for result in results],
+    }

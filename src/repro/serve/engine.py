@@ -44,6 +44,7 @@ from repro.core.replayer import Replayer
 from repro.errors import ReplayError, ReproError
 from repro.gpu.faults import FaultInjector
 from repro.obs.metrics import LATENCY_BUCKETS_NS
+from repro.obs.rtrace import NULL_RTRACE, RequestTracer, SCHEMA
 from repro.obs.session import Observability
 from repro.serve.loadgen import ServeRequest
 from repro.soc.clock import VirtualClock
@@ -81,6 +82,13 @@ class ServerConfig:
     #: times differ from a cold run's -- both are deterministic, but
     #: only same-config runs compare byte-for-byte.
     prefetch: bool = False
+    #: Request-scoped tracing (repro.obs.rtrace). On by default: the
+    #: tracer only reads the clock, so virtual-time results are
+    #: identical either way; off saves the per-event Python cost.
+    trace: bool = True
+    #: Flight-recorder ring capacity per worker machine (None = the
+    #: always-on default, DEFAULT_RING_SIZE).
+    flight_capacity: Optional[int] = None
 
     @classmethod
     def from_counts(cls, workers: int, families: Tuple[str, ...],
@@ -149,6 +157,12 @@ class RecordingStore:
     def mix(self) -> List[Tuple[str, str]]:
         return sorted(self._recordings)
 
+    def drain_fetches(self) -> List[Dict[str, object]]:
+        """Store-fetch events since the last drain (the request tracer
+        marks them on the request that triggered them). The loose-file
+        store never fetches."""
+        return []
+
 
 class VaultRecordingStore(RecordingStore):
     """A recording store backed by a :class:`repro.store.vault.Vault`.
@@ -172,6 +186,7 @@ class VaultRecordingStore(RecordingStore):
         #: (family, model) -> digest the vault could not deliver.
         self.corrupt: Dict[Tuple[str, str], str] = {}
         self._missing: set = set()
+        self._fetch_log: List[Dict[str, object]] = []
 
     @classmethod
     def pack_zoo(cls, vault, mix) -> "VaultRecordingStore":
@@ -202,9 +217,15 @@ class VaultRecordingStore(RecordingStore):
             return False
         try:
             self.add(family, model, self.vault.fetch(digest))
+            self._fetch_log.append({
+                "family": family, "model": model,
+                **self.vault.last_fetch_info})
             return True
         except StoreCorruptionError:
             self.corrupt[key] = digest
+            self._fetch_log.append({
+                "family": family, "model": model,
+                "digest": digest[:12], "corrupt": True})
             return False
         except StoreError:
             self._missing.add(key)
@@ -237,6 +258,11 @@ class VaultRecordingStore(RecordingStore):
 
     def mix(self) -> List[Tuple[str, str]]:
         return list(self._mix)
+
+    def drain_fetches(self) -> List[Dict[str, object]]:
+        drained = self._fetch_log
+        self._fetch_log = []
+        return drained
 
 
 def request_inputs(recording: Recording,
@@ -335,6 +361,11 @@ class ServeReport:
     snapshot: Dict[str, Dict[str, object]]
     makespan_ns: int
     lost: List[int] = field(default_factory=list)
+    #: Request-scoped trace events (repro.obs.rtrace schema v1);
+    #: empty when the server ran with tracing off. Deliberately NOT
+    #: part of :meth:`summary` -- the determinism tests compare
+    #: summaries, the trace-completeness tests compare these.
+    trace_events: List[dict] = field(default_factory=list, repr=False)
 
     def counts(self) -> Dict[str, int]:
         out = {"ok": 0, "degraded": 0, "shed": 0}
@@ -390,12 +421,14 @@ class Worker:
     """One replay machine in the pool: a board, a replayer, a fault
     injector, and the digest it is currently warm on."""
 
-    def __init__(self, wid: int, family: str, board: str, seed: int):
+    def __init__(self, wid: int, family: str, board: str, seed: int,
+                 flight_capacity: Optional[int] = None):
         self.id = wid
         self.family = family
         self.board = board
         self.machine = fresh_replay_machine(family, seed=seed,
-                                            board=board)
+                                            board=board,
+                                            flight_capacity=flight_capacity)
         self.replayer = Replayer(self.machine)
         self.replayer.init()
         self.injector = FaultInjector(self.machine.require_gpu())
@@ -451,9 +484,16 @@ class ReplayServer:
             raise ReproError("boards must parallel families")
         self.workers = [
             Worker(i, family, board,
-                   seed=self.config.seed * 1000 + i)
+                   seed=self.config.seed * 1000 + i,
+                   flight_capacity=self.config.flight_capacity)
             for i, (family, board) in enumerate(
                 zip(self.config.families, boards))]
+        #: Request-scoped tracer: every admitted request gets one
+        #: causal span tree on the server clock (a no-op when
+        #: ``config.trace`` is off). Like ``obs``, it only *reads*
+        #: the clock -- virtual-time results are identical either way.
+        self.rtrace = (RequestTracer(self.clock) if self.config.trace
+                       else NULL_RTRACE)
         self._pending: List[ServeRequest] = []
         self._responses: Dict[int, ServeResponse] = {}
         #: Per-request scheduling state: escalation mode and the
@@ -462,6 +502,9 @@ class ReplayServer:
         self._tries: Dict[int, List[int]] = {}
         self._attempts: Dict[int, int] = {}
         self._retries: Dict[int, int] = {}
+        #: rid -> open "queue" span sid (request currently in
+        #: ``_pending``).
+        self._qsid: Dict[int, int] = {}
         self._served = False
         self.obs.gauge("serve.workers").set(len(self.workers))
         if self.config.prefetch:
@@ -484,6 +527,9 @@ class ReplayServer:
                         self.store.healthy(family, model)):
                     warmed += 1
         self.obs.counter("serve.store.prefetched").inc(warmed)
+        fetches = self.store.drain_fetches()
+        self.rtrace.meta("prefetch", args={"warmed": warmed,
+                                           "fetches": fetches})
 
     # -- public API ---------------------------------------------------------
 
@@ -494,6 +540,12 @@ class ReplayServer:
                              "build a new server")
         self._served = True
         ordered = sorted(requests, key=lambda r: (r.arrival_ns, r.rid))
+        self.rtrace.meta("run", args={
+            "schema": SCHEMA, "requests": len(ordered),
+            "families": list(self.config.families),
+            "seed": self.config.seed,
+            "queue_depth": self.config.queue_depth,
+            "max_batch": self.config.max_batch})
         for request in ordered:
             self.clock.schedule(request.arrival_ns,
                                 lambda r=request: self._on_arrival(r))
@@ -519,7 +571,8 @@ class ReplayServer:
                        for rid in sorted(self._responses)],
             snapshot=self.obs.snapshot(),
             makespan_ns=makespan,
-            lost=lost)
+            lost=lost,
+            trace_events=list(self.rtrace.events))
 
     def close(self) -> None:
         for worker in self.workers:
@@ -528,18 +581,26 @@ class ReplayServer:
     # -- admission ----------------------------------------------------------
 
     def _on_arrival(self, request: ServeRequest) -> None:
+        rid = request.rid
         self.obs.counter("serve.requests.submitted").inc()
+        self.rtrace.submit(rid, args={
+            "family": request.family, "model": request.model,
+            "deadline_ns": request.deadline_ns,
+            "fault": request.fault.kind if request.fault else ""})
         if request.fault is not None:
             self.obs.counter(
                 f"serve.fault.{request.fault.kind}").inc()
-        self._mode.setdefault(request.rid, "fast")
-        self._tries.setdefault(request.rid, [])
-        self._attempts.setdefault(request.rid, 0)
-        self._retries.setdefault(request.rid, 0)
+        self._mode.setdefault(rid, "fast")
+        self._tries.setdefault(rid, [])
+        self._attempts.setdefault(rid, 0)
+        self._retries.setdefault(rid, 0)
         if not any(w.family == request.family for w in self.workers):
             self._degrade_cpu(request, reason="no-worker")
             return
-        if not self.store.available(request.family, request.model):
+        available = self.store.available(request.family, request.model)
+        for info in self.store.drain_fetches():
+            self.rtrace.mark(rid, "vault.fetch", args=info)
+        if not available:
             # Store miss / corrupt fetch: the bottom rung of the
             # failure ladder, entered at admission -- there is nothing
             # to dispatch. The counter is created lazily so a store
@@ -558,14 +619,21 @@ class ReplayServer:
             self._shed(request, "queue-full")
             return
         self._pending.append(request)
+        self._qsid[rid] = self.rtrace.begin(rid, "queue")
         self._note_queue_depth()
         self._dispatch()
 
     def _requeue(self, request: ServeRequest) -> None:
         """Re-admit after backoff; retries bypass the depth bound (the
         request already holds an admission slot conceptually)."""
+        rid = request.rid
+        backoff_sid = self.rtrace.begin(
+            rid, "backoff", args={"backoff_ns": REQUEUE_BACKOFF_NS})
+
         def readmit() -> None:
+            self.rtrace.end(rid, backoff_sid)
             self._pending.insert(0, request)
+            self._qsid[rid] = self.rtrace.begin(rid, "queue")
             self._note_queue_depth()
             self._dispatch()
         self.clock.schedule(REQUEUE_BACKOFF_NS, readmit)
@@ -638,7 +706,15 @@ class ReplayServer:
     def _run_batch(self, worker: Worker,
                    batch: List[ServeRequest]) -> None:
         """Execute ``batch`` synchronously on the worker machine and
-        map the virtual time it took onto the server timeline."""
+        map the virtual time it took onto the server timeline.
+
+        The server clock is parked at ``dispatch_ns`` while the batch
+        runs on the worker's machine clock, so every request-trace
+        span in here carries an explicit timestamp:
+        ``dispatch_ns + (machine time - t0)`` scores machine-side work
+        onto the server timeline -- the same mapping the response's
+        ``completed_ns`` uses.
+        """
         worker.busy = True
         worker.dispatches += 1
         dispatch_ns = self.clock.now()
@@ -647,41 +723,96 @@ class ReplayServer:
         self.obs.counter("serve.batches").inc()
         self.obs.histogram("serve.batch.size",
                            BATCH_BUCKETS).observe(len(batch))
-        for request in batch:
-            self._tries[request.rid].append(worker.id)
+        rt = self.rtrace
+        attempt_sid: Dict[int, int] = {}
+        for slot, request in enumerate(batch):
+            rid = request.rid
+            self._tries[rid].append(worker.id)
+            queue_sid = self._qsid.pop(rid, None)
+            if queue_sid is not None:
+                rt.end(rid, queue_sid, t_ns=dispatch_ns)
+            attempt_sid[rid] = rt.begin(
+                rid, "attempt", t_ns=dispatch_ns,
+                args={"worker": worker.id, "mode": mode,
+                      "batch": len(batch), "slot": slot,
+                      "try": len(self._tries[rid])})
 
         machine = worker.machine
         t0 = machine.clock.now()
         results: List[Tuple[ServeRequest, Optional[Dict[str, np.ndarray]],
                             int, int]] = []
+
+        def off() -> int:
+            return machine.clock.now() - t0
+
+        def load_span(rid: int, psid: int, start_off: int,
+                      failed: bool = False) -> None:
+            args = dict(worker.replayer.last_load_info)
+            if failed:
+                args["failed"] = True
+            sid = rt.begin(rid, "load", psid=psid,
+                           t_ns=dispatch_ns + start_off, args=args)
+            rt.end(rid, sid, t_ns=dispatch_ns + off())
+
+        head_rid = batch[0].rid
         staged = True
         try:
             worker.stage(recording)
+            load_span(head_rid, attempt_sid[head_rid], 0)
         except ReproError:
             staged = False
-        for request in batch:
+            load_span(head_rid, attempt_sid[head_rid], 0, failed=True)
+        for slot, request in enumerate(batch):
+            rid = request.rid
+            asid = attempt_sid[rid]
+            wait_off = off()
+            if slot > 0 and wait_off > 0:
+                # Time this request spent waiting for earlier batch
+                # members (and the shared staging) on this worker.
+                wait_sid = rt.begin(rid, "batch.wait", psid=asid,
+                                    t_ns=dispatch_ns)
+                rt.end(rid, wait_sid, t_ns=dispatch_ns + wait_off)
             if not staged:
+                restage_off = off()
                 try:
                     worker.stage(recording)
                     staged = True
+                    load_span(rid, asid, restage_off)
                 except ReproError:
-                    results.append((request, None, 0,
-                                    machine.clock.now() - t0))
+                    load_span(rid, asid, restage_off, failed=True)
+                    fail_off = off()
+                    rt.end(rid, asid, t_ns=dispatch_ns + fail_off,
+                           args={"outcome": "stage-failed"})
+                    results.append((request, None, 0, fail_off))
                     continue
-            self._inject(worker, request)
+            self._inject(worker, request, asid)
             worker.replayer.fast_path = (mode == "fast")
             attempts = (self.config.worker_attempts
                         if mode == "fast" else 1)
+            replay_off = off()
             try:
                 result = worker.replayer.replay(
                     inputs=request_inputs(recording, request.input_seed),
                     max_attempts=attempts)
+                done_off = off()
+                self._trace_replay(rid, asid, dispatch_ns, replay_off,
+                                   done_off, mode, result)
+                rt.end(rid, asid, t_ns=dispatch_ns + done_off,
+                       args={"outcome": "ok"})
                 results.append((request, result.outputs, result.attempts,
-                                machine.clock.now() - t0))
-            except ReplayError:
+                                done_off))
+            except ReplayError as error:
                 self.obs.counter("serve.worker_failures").inc()
-                results.append((request, None, attempts,
-                                machine.clock.now() - t0))
+                fail_off = off()
+                replay_sid = rt.begin(
+                    rid, "replay", psid=asid,
+                    t_ns=dispatch_ns + replay_off,
+                    args={"path": mode})
+                rt.end(rid, replay_sid, t_ns=dispatch_ns + fail_off,
+                       args={"failed": type(error).__name__})
+                rt.end(rid, asid, t_ns=dispatch_ns + fail_off,
+                       args={"outcome": "failed"})
+                results.append((request, None, attempts, fail_off))
                 worker.heal()
                 staged = False
             finally:
@@ -698,7 +829,36 @@ class ReplayServer:
             lambda: self._on_batch_done(worker, dispatch_ns, mode,
                                         len(batch), results))
 
-    def _inject(self, worker: Worker, request: ServeRequest) -> None:
+    def _trace_replay(self, rid: int, asid: int, dispatch_ns: int,
+                      start_off: int, end_off: int, mode: str,
+                      result) -> None:
+        """One ``replay`` span with its cost decomposition.
+
+        ``upload``/``exec``/``pacing`` children carry the exact
+        virtual durations the interpreter measured; they are laid out
+        sequentially from the replay start (attribution cares about
+        the totals, not the interleaving). The replay span's exclusive
+        remainder is driver dispatch overhead plus any §5.4 retry
+        backoff.
+        """
+        rt = self.rtrace
+        stats = result.stats
+        replay_sid = rt.begin(
+            rid, "replay", psid=asid, t_ns=dispatch_ns + start_off,
+            args={"path": mode, "attempts": result.attempts,
+                  "jobs": stats.jobs_kicked})
+        cursor = dispatch_ns + start_off
+        for name, duration in (("upload", stats.upload_ns),
+                               ("exec", stats.irq_wait_ns),
+                               ("pacing", stats.pacing_wait_ns)):
+            if duration > 0:
+                sid = rt.begin(rid, name, psid=replay_sid, t_ns=cursor)
+                cursor += duration
+                rt.end(rid, sid, t_ns=cursor)
+        rt.end(rid, replay_sid, t_ns=dispatch_ns + end_off)
+
+    def _inject(self, worker: Worker, request: ServeRequest,
+                attempt_sid: int) -> None:
         """Fire the request's scheduled hardware fault (first dispatch
         only -- the fault models an event on the machine that first
         served it; poison travels with the content instead)."""
@@ -708,6 +868,8 @@ class ReplayServer:
         kind = request.fault.kind
         if kind not in ("gpu-transient", "gpu-sticky"):
             return
+        self.rtrace.mark(request.rid, "fault.injected",
+                         psid=attempt_sid, args={"kind": kind})
         gpu = worker.machine.require_gpu()
         mask = (1 << gpu.core_count) - 1
         worker.injector.offline_cores(mask)
@@ -734,6 +896,15 @@ class ReplayServer:
                 self._complete(request, outputs, path, worker.id,
                                batch_size, dispatch_ns + offset_ns)
             else:
+                fail_ns = dispatch_ns + offset_ns
+                if end_ns > fail_ns:
+                    # The failed request sat on the worker until the
+                    # rest of the batch drained; that wait is part of
+                    # its end-to-end latency, so it gets a span.
+                    drain_sid = self.rtrace.begin(
+                        request.rid, "batch.drain", t_ns=fail_ns)
+                    self.rtrace.end(request.rid, drain_sid,
+                                    t_ns=end_ns)
                 self._on_failure(request, worker)
         self._dispatch()
 
@@ -750,22 +921,30 @@ class ReplayServer:
             if untried and self._retries[rid] < self.config.max_retries:
                 self._retries[rid] += 1
                 self.obs.counter("serve.retries").inc()
+                self.rtrace.mark(rid, "ladder", args={
+                    "rung": "other-worker",
+                    "retry": self._retries[rid]})
                 self._requeue(request)
                 return
             self._mode[rid] = "reference"
             self._tries[rid] = []
+            self.rtrace.mark(rid, "ladder", args={"rung": "reference"})
             self._requeue(request)
             return
         # The reference interpreter rejected it too (poisoned content,
         # or a recording this board cannot replay): answer on the CPU.
+        self.rtrace.mark(rid, "ladder", args={"rung": "cpu"})
         self._degrade_cpu(request, reason="replay-rejected")
 
     def _degrade_cpu(self, request: ServeRequest, reason: str) -> None:
         self.obs.counter("serve.cpu_fallbacks").inc()
+        cpu_sid = self.rtrace.begin(request.rid, "cpu",
+                                    args={"reason": reason})
 
         def finish() -> None:
             outputs = expected_outputs(self.store, request.family,
                                        request.model, request.input_seed)
+            self.rtrace.end(request.rid, cpu_sid)
             self._complete(request, outputs, "cpu", -1, 1,
                            self.clock.now(), degrade_reason=reason)
         self.clock.schedule(CPU_FALLBACK_NS, finish)
@@ -781,6 +960,10 @@ class ReplayServer:
         self.obs.histogram("serve.latency_ns",
                            LATENCY_BUCKETS_NS).observe(
             completed_ns - request.arrival_ns)
+        self.rtrace.finish(request.rid, status, t_ns=completed_ns,
+                           args={"path": path,
+                                 "worker": worker_id,
+                                 "reason": degrade_reason})
         self._responses[request.rid] = ServeResponse(
             rid=request.rid, status=status, path=path,
             family=request.family, model=request.model,
@@ -795,6 +978,11 @@ class ReplayServer:
 
     def _shed(self, request: ServeRequest, reason: str) -> None:
         self.obs.counter("serve.requests.shed").inc()
+        queue_sid = self._qsid.pop(request.rid, None)
+        if queue_sid is not None:
+            self.rtrace.end(request.rid, queue_sid)
+        self.rtrace.finish(request.rid, "shed",
+                           args={"reason": reason})
         self._responses[request.rid] = ServeResponse(
             rid=request.rid, status="shed", path="",
             family=request.family, model=request.model,

@@ -75,6 +75,19 @@ class LoadgenConfig:
     fault_rate: float = 0.0
     fault_kinds: Tuple[str, ...] = FAULT_KINDS
 
+    def to_dict(self) -> dict:
+        """JSON-able form (stamped into trace-event-log metadata so a
+        saved log is self-describing)."""
+        return {
+            "requests": self.requests,
+            "seed": self.seed,
+            "mix": [list(pair) for pair in self.mix],
+            "mean_interarrival_ns": self.mean_interarrival_ns,
+            "deadline_ns": self.deadline_ns,
+            "fault_rate": self.fault_rate,
+            "fault_kinds": list(self.fault_kinds),
+        }
+
 
 def generate_requests(config: LoadgenConfig) -> List[ServeRequest]:
     """The seeded request stream, sorted by arrival time."""

@@ -45,7 +45,8 @@ class InterferenceProfile:
 class Machine:
     """One simulated SoC board with an integrated GPU."""
 
-    def __init__(self, board: BoardSpec, seed: int = 0):
+    def __init__(self, board: BoardSpec, seed: int = 0,
+                 flight_capacity: Optional[int] = None):
         self.board = board
         self.seed = seed
         self.clock = VirtualClock()
@@ -68,16 +69,22 @@ class Machine:
         self.obs = NULL_OBS
         # Flight recorder: always on, bounded, forensics-only. Unlike
         # obs it cannot be swapped out -- divergence localization
-        # depends on the ring existing whenever a replay fails.
-        self.flight = FlightRecorder()
+        # depends on the ring existing whenever a replay fails. The
+        # capacity is configurable (serving pools trade ring depth
+        # against per-worker footprint) but never unbounded.
+        if flight_capacity is None:
+            self.flight = FlightRecorder()
+        else:
+            self.flight = FlightRecorder(capacity=flight_capacity)
         self.gpu = None  # type: Optional[object]
 
     @classmethod
-    def create(cls, board: "BoardSpec | str", seed: int = 0) -> "Machine":
+    def create(cls, board: "BoardSpec | str", seed: int = 0,
+               flight_capacity: Optional[int] = None) -> "Machine":
         """Build a machine and mount the board's GPU device on it."""
         if isinstance(board, str):
             board = board_by_name(board)
-        machine = cls(board, seed)
+        machine = cls(board, seed, flight_capacity=flight_capacity)
         # Imported lazily: repro.gpu depends on repro.soc.
         from repro.gpu import create_gpu
 

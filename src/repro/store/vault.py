@@ -151,6 +151,10 @@ class Vault:
         os.makedirs(self._objects_dir, exist_ok=True)
         os.makedirs(self._manifests_dir, exist_ok=True)
         self.index = CompatIndex.load(self._index_path)
+        #: What the most recent :meth:`fetch` moved -- chunk and byte
+        #: counts plus the digest prefix. Read by the serving engine's
+        #: request tracer; purely informational.
+        self.last_fetch_info: Dict[str, object] = {}
 
     @classmethod
     def open(cls, root: str, obs=NULL_OBS) -> "Vault":
@@ -346,11 +350,14 @@ class Vault:
         with obs.span("store:fetch", obs.track("store", "vault"),
                       cat="store", args={"digest": digest[:12]}):
             manifest, recording = self._fetch_checked(digest, verify)
+            chunks = len(manifest.chunk_refs())
+            nbytes = sum(size for _va, size, _c in manifest.dumps)
             obs.counter("store.fetch.recordings").inc()
-            obs.counter("store.fetch.chunks").inc(
-                len(manifest.chunk_refs()))
-            obs.counter("store.fetch.bytes").inc(
-                sum(size for _va, size, _c in manifest.dumps))
+            obs.counter("store.fetch.chunks").inc(chunks)
+            obs.counter("store.fetch.bytes").inc(nbytes)
+            self.last_fetch_info = {
+                "digest": digest[:12], "chunks": chunks,
+                "bytes": nbytes}
             return recording
 
     def _fetch_checked(self, digest: str,

@@ -30,11 +30,24 @@ Subcommands::
                                           benchmark suites (no
                                           recording file needed)
     grr serve [--requests N] [--workers N] [--fault-rate P]
+              [--trace-out events.jsonl] [--trace-chrome trace.json]
                                           run the concurrent replay
                                           serving engine on a seeded
                                           synthetic load; verifies
                                           every answer against the CPU
-                                          reference
+                                          reference and can export the
+                                          per-request trace event log
+    grr top <events.jsonl> [--limit N]    post-hoc dashboard over a
+                                          serve trace: slowest requests
+                                          with per-stage breakdowns
+    grr attribute <events.jsonl> [--p-lo 99]  tail-latency attribution:
+                                          decompose a percentile band
+                                          into exclusive per-stage time
+    grr slo <events.jsonl> [--strict]     evaluate latency/availability
+                                          objectives with burn-rate
+                                          alerts over the event log
+    grr stats --diff <a.json> <b.json>    structured comparison of two
+                                          saved metrics snapshots
     grr doctor <file> [--vs-reference]    diagnose a failing replay:
                                           localize the first diverging
                                           chokepoint, emit a
@@ -311,10 +324,60 @@ def _print_snapshot(snapshot) -> None:
               f"sum={hist['sum']:.0f} mean={mean:.1f}{quantiles}")
 
 
+def _print_snapshot_diff(diff) -> None:
+    for kind in ("counters", "gauges"):
+        section = diff[kind]
+        for name in sorted(section["changed"]):
+            change = section["changed"][name]
+            print(f"  {name:<36} {change['before']} -> {change['after']} "
+                  f"(delta {change['delta']:+g})")
+        for name in sorted(section["added"]):
+            print(f"  {name:<36} (new) {section['added'][name]}")
+        for name in sorted(section["removed"]):
+            print(f"  {name:<36} (gone, was "
+                  f"{section['removed'][name]})")
+    hists = diff["histograms"]
+    for name in sorted(hists["changed"]):
+        change = hists["changed"][name]
+        shifts = "".join(
+            f" {q} {change[q]['before']:.0f}->{change[q]['after']:.0f}"
+            for q in ("p50", "p95", "p99") if q in change)
+        print(f"  {name:<36} count {change['count_delta']:+d} "
+              f"sum {change['sum_delta']:+g} "
+              f"overflow {change['overflow_delta']:+d}{shifts}")
+    for name in sorted(hists["added"]):
+        print(f"  {name:<36} (new histogram)")
+    for name in sorted(hists["removed"]):
+        print(f"  {name:<36} (gone)")
+
+
 def cmd_stats(args) -> int:
-    """Replay with observability on and print the metrics snapshot."""
+    """Replay with observability on and print the metrics snapshot.
+
+    With ``--diff A B`` no replay happens: the two saved snapshot JSON
+    files are compared structurally instead (what moved, what appeared,
+    what vanished) -- the forensic half of the CI regression sentry.
+    """
     import json
 
+    if args.diff:
+        from repro.obs.metrics import snapshot_diff
+
+        with open(args.diff[0]) as handle:
+            before = json.load(handle)
+        with open(args.diff[1]) as handle:
+            after = json.load(handle)
+        diff = snapshot_diff(before, after)
+        if args.json:
+            print(json.dumps(diff, indent=1, sort_keys=True))
+            return 0
+        print(f"snapshot diff {args.diff[0]} -> {args.diff[1]}:")
+        _print_snapshot_diff(diff)
+        return 0
+    if args.file is None:
+        print("error: a recording file is required unless --diff is "
+              "given", file=sys.stderr)
+        return 2
     recording = _load(args.file)
     board = _resolve_board(args, recording)
     if board is None:
@@ -504,7 +567,8 @@ def cmd_bench(args) -> int:
             return measure_fastpath(family=args.family,
                                     model_name=args.model,
                                     replays=args.replays)
-        guarded = ("warm_load_speedup", "replay_speedup")
+        guarded = ("warm_load_speedup", "replay_speedup",
+                   "fast_replays_per_sec")
         def render():
             return replay_fastpath(family=args.family,
                                    model_name=args.model,
@@ -559,15 +623,50 @@ def cmd_serve(args) -> int:
                             for i in range(args.workers))
     mix = tuple((family, model)
                 for family in sorted(set(families)) for model in models)
-    requests = generate_requests(LoadgenConfig(
+    load_cfg = LoadgenConfig(
         requests=args.requests, seed=args.seed, mix=mix,
-        fault_rate=args.fault_rate))
+        fault_rate=args.fault_rate)
+    requests = generate_requests(load_cfg)
     store = RecordingStore.from_zoo(mix)
+    tracing = not args.no_trace
     server = ReplayServer(store, ServerConfig(
         families=worker_families, seed=args.seed,
-        queue_depth=args.queue_depth, max_batch=args.max_batch))
+        queue_depth=args.queue_depth, max_batch=args.max_batch,
+        trace=tracing))
+    # Stamp the load shape into the event log so a saved trace is
+    # self-describing (no-op when tracing is off).
+    server.rtrace.meta("loadgen", args=load_cfg.to_dict())
     report = server.serve(requests)
     server.close()
+
+    aux = sys.stderr if args.json else sys.stdout
+    if args.trace_out or args.trace_chrome:
+        import json as json_mod
+
+        from repro.obs.rtrace import (events_to_chrome, events_to_jsonl,
+                                      validate_events)
+
+        if not tracing:
+            print("error: --trace-out/--trace-chrome require tracing "
+                  "(drop --no-trace)", file=sys.stderr)
+            return 2
+        events = report.trace_events
+        problems = validate_events(
+            events, expected_rids={r.rid for r in report.responses})
+        for problem in problems[:5]:
+            print(f"warning: trace incomplete: {problem}",
+                  file=sys.stderr)
+        if args.trace_out:
+            with open(args.trace_out, "w") as handle:
+                handle.write(events_to_jsonl(events))
+            print(f"wrote {args.trace_out} ({len(events)} events, "
+                  f"{len(report.responses)} request traces)", file=aux)
+        if args.trace_chrome:
+            with open(args.trace_chrome, "w") as handle:
+                json_mod.dump(events_to_chrome(events), handle,
+                              indent=1, sort_keys=True)
+            print(f"wrote {args.trace_chrome} (load in Perfetto / "
+                  f"chrome://tracing)", file=aux)
 
     counts = report.counts()
     counters = report.snapshot["counters"]
@@ -608,6 +707,131 @@ def cmd_serve(args) -> int:
         print(f"  verified: all {answered} answered outputs match the "
               f"CPU reference",
               file=sys.stderr if args.json else sys.stdout)
+    return 0
+
+
+def _read_events(path: str):
+    """Load a trace event log, or None (+ message) if unreadable."""
+    from repro.obs.rtrace import load_events
+
+    try:
+        return load_events(path)
+    except ValueError as error:
+        print(f"error: {path} is not a trace event log: {error}",
+              file=sys.stderr)
+        return None
+
+
+def cmd_top(args) -> int:
+    """Post-hoc dashboard over a serve trace: slowest requests first."""
+    from repro.obs.rtrace import span_trees, validate_events
+
+    events = _read_events(args.file)
+    if events is None:
+        return 2
+    problems = validate_events(events)
+    for problem in problems[:5]:
+        print(f"warning: {problem}", file=sys.stderr)
+    roots = span_trees(events)
+    if not roots:
+        print("(no request traces in log)")
+        return 0
+
+    rows = []
+    for rid in sorted(roots):
+        root = roots[rid]
+        status = str(root.args.get("status", "?"))
+        stages = {}
+        for node in root.walk():
+            stages[node.name] = stages.get(node.name, 0) \
+                + node.exclusive_ns
+        rows.append((rid, status, root.duration_ns, stages))
+
+    answered = sorted(lat for _, status, lat, _ in rows
+                      if status != "shed")
+    counts: dict = {}
+    for _, status, _, _ in rows:
+        counts[status] = counts.get(status, 0) + 1
+
+    def pct(p: float) -> int:
+        if not answered:
+            return 0
+        rank = min(len(answered) - 1, int(p / 100.0 * len(answered)))
+        return answered[rank]
+
+    summary = "  ".join(f"{status} {counts[status]}"
+                        for status in sorted(counts))
+    print(f"{len(rows)} request(s): {summary}")
+    if answered:
+        print(f"answered latency p50 {fmt_ns(pct(50))}  "
+              f"p95 {fmt_ns(pct(95))}  p99 {fmt_ns(pct(99))}")
+    print(f"{'rid':>5} {'status':<9} {'latency':>12}  breakdown "
+          "(exclusive virtual time)")
+    rows.sort(key=lambda row: (-row[2], row[0]))
+    for rid, status, latency, stages in rows[:args.limit]:
+        parts = sorted(stages.items(), key=lambda kv: (-kv[1], kv[0]))
+        breakdown = "  ".join(
+            f"{name} {fmt_ns(ns)}" for name, ns in parts[:4] if ns)
+        print(f"{rid:>5} {status:<9} {fmt_ns(latency):>12}  "
+              f"{breakdown or '-'}")
+    if len(rows) > args.limit:
+        print(f"  ... {len(rows) - args.limit} more "
+              f"(raise --limit to see them)")
+    return 0
+
+
+def cmd_attribute(args) -> int:
+    """Decompose a latency percentile band into per-stage time."""
+    import json as json_mod
+
+    from repro.obs.attribution import attribute
+
+    events = _read_events(args.file)
+    if events is None:
+        return 2
+    statuses = None
+    if args.status:
+        statuses = tuple(s.strip() for s in args.status.split(",")
+                         if s.strip())
+    report = attribute(events, p_lo=args.p_lo, p_hi=args.p_hi,
+                       statuses=statuses)
+    if args.json:
+        print(json_mod.dumps(report.to_dict(), indent=1,
+                             sort_keys=True))
+    else:
+        print(report.render())
+    return 0
+
+
+def cmd_slo(args) -> int:
+    """Evaluate SLOs with burn-rate alerts against an event log."""
+    import json as json_mod
+
+    from repro.obs.slo import (SloSpec, default_slos, evaluate_slos,
+                               slo_report)
+    from repro.units import MS
+
+    events = _read_events(args.file)
+    if events is None:
+        return 2
+    specs = default_slos(deadline_ns=int(args.latency_ms * MS))
+    if args.target is not None:
+        specs = [SloSpec(name=spec.name, target=args.target,
+                         latency_ns=spec.latency_ns,
+                         window_ns=spec.window_ns,
+                         burn_threshold=spec.burn_threshold)
+                 for spec in specs]
+    results = evaluate_slos(events, specs)
+    if args.json:
+        print(json_mod.dumps(slo_report(events, specs), indent=1,
+                             sort_keys=True))
+    else:
+        for result in results:
+            print(result.render())
+    if args.strict and any(not r.met for r in results):
+        missed = ", ".join(r.spec.name for r in results if not r.met)
+        print(f"error: SLO(s) missed: {missed}", file=sys.stderr)
+        return 1
     return 0
 
 
@@ -690,13 +914,18 @@ def build_parser() -> argparse.ArgumentParser:
     trace_cmd.set_defaults(func=cmd_trace)
 
     stats = sub.add_parser(
-        "stats", help="replay + print the metrics snapshot")
-    stats.add_argument("file")
+        "stats", help="replay + print the metrics snapshot, or "
+        "compare two saved snapshots with --diff")
+    stats.add_argument("file", nargs="?", default=None)
     stats.add_argument("--board", default=None,
                        help="defaults to the recording's board")
     stats.add_argument("--seed", type=int, default=2026)
     stats.add_argument("--json", action="store_true",
                        help="machine-readable output")
+    stats.add_argument("--diff", nargs=2, default=None,
+                       metavar=("BEFORE_JSON", "AFTER_JSON"),
+                       help="compare two saved snapshot JSON files "
+                       "instead of replaying")
     stats.set_defaults(func=cmd_stats)
 
     inspect = sub.add_parser(
@@ -799,7 +1028,61 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--no-verify", action="store_true",
                        help="skip checking served outputs against the "
                        "CPU reference")
+    serve.add_argument("--no-trace", action="store_true",
+                       help="disable request-scoped tracing")
+    serve.add_argument("--trace-out", default=None,
+                       metavar="EVENTS_JSONL",
+                       help="write the request trace event log "
+                       "(schema rtrace.v1, one JSON event per line; "
+                       "feed to `grr top` / `grr attribute` / "
+                       "`grr slo`)")
+    serve.add_argument("--trace-chrome", default=None,
+                       metavar="TRACE_JSON",
+                       help="write a Perfetto-loadable Chrome trace "
+                       "of all request timelines")
     serve.set_defaults(func=cmd_serve)
+
+    top = sub.add_parser(
+        "top", help="post-hoc dashboard over a serve trace event log: "
+        "slowest requests with per-stage breakdowns")
+    top.add_argument("file", help="event log from `grr serve "
+                     "--trace-out`")
+    top.add_argument("--limit", type=int, default=15,
+                     help="rows to show (default 15)")
+    top.set_defaults(func=cmd_top)
+
+    attr = sub.add_parser(
+        "attribute", help="tail-latency attribution: fold a latency "
+        "percentile band's span trees into ranked exclusive per-stage "
+        "virtual time (sums to end-to-end by construction)")
+    attr.add_argument("file", help="event log from `grr serve "
+                      "--trace-out`")
+    attr.add_argument("--p-lo", type=float, default=99.0,
+                      help="band lower percentile (default 99)")
+    attr.add_argument("--p-hi", type=float, default=100.0,
+                      help="band upper percentile (default 100)")
+    attr.add_argument("--status", default=None,
+                      help="comma list of terminal statuses to "
+                      "include (default: all but shed)")
+    attr.add_argument("--json", action="store_true",
+                      help="machine-readable report")
+    attr.set_defaults(func=cmd_attribute)
+
+    slo = sub.add_parser(
+        "slo", help="evaluate latency/error-budget objectives with "
+        "sliding-window burn-rate alerts against an event log")
+    slo.add_argument("file", help="event log from `grr serve "
+                     "--trace-out`")
+    slo.add_argument("--latency-ms", type=float, default=100.0,
+                     help="latency SLO cutoff in virtual ms "
+                     "(default 100)")
+    slo.add_argument("--target", type=float, default=None,
+                     help="override every objective's target fraction")
+    slo.add_argument("--strict", action="store_true",
+                     help="exit 1 if any objective is missed")
+    slo.add_argument("--json", action="store_true",
+                     help="machine-readable slo.v1 report")
+    slo.set_defaults(func=cmd_slo)
 
     doctor = sub.add_parser(
         "doctor", help="diagnose a failing replay: localize the first "

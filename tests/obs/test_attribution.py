@@ -1,0 +1,93 @@
+"""Tail-latency attribution over hand-built event logs.
+
+The load-bearing claim is exhaustiveness: ranked stage totals always
+sum to the band's end-to-end latency because exclusive span times sum
+to the root duration by construction. Band selection, shed exclusion
+and ranking are pinned separately.
+"""
+
+import pytest
+
+from repro.errors import ObsError
+from repro.obs.attribution import attribute
+from repro.obs.rtrace import RequestTracer
+from repro.soc.clock import VirtualClock
+from repro.units import MS
+
+
+def _log(latencies_ms, shed_rids=()):
+    """One request per latency: queue eats 1 ms, replay the rest."""
+    tracer = RequestTracer(VirtualClock())
+    for rid, total_ms in enumerate(latencies_ms):
+        t0 = rid * 100 * MS
+        tracer.submit(rid, t_ns=t0)
+        if rid in shed_rids:
+            tracer.finish(rid, "shed", t_ns=t0 + total_ms * MS)
+            continue
+        q = tracer.begin(rid, "queue", t_ns=t0)
+        tracer.end(rid, q, t_ns=t0 + 1 * MS)
+        a = tracer.begin(rid, "attempt", t_ns=t0 + 1 * MS)
+        r = tracer.begin(rid, "replay", psid=a, t_ns=t0 + 1 * MS)
+        tracer.end(rid, r, t_ns=t0 + total_ms * MS)
+        tracer.end(rid, a, t_ns=t0 + total_ms * MS)
+        tracer.finish(rid, "ok", t_ns=t0 + total_ms * MS)
+    return tracer.events
+
+
+def test_stages_sum_to_end_to_end_latency():
+    report = attribute(_log([10, 20, 30]), p_lo=0.0)
+    assert report.total_ns == (10 + 20 + 30) * MS
+    assert sum(stage.total_ns for stage in report.stages) \
+        == report.total_ns
+
+
+def test_band_selects_the_tail():
+    # 100 requests, latencies 1..100 ms: p99-p100 is the slowest one.
+    report = attribute(_log(range(1, 101)), p_lo=99.0)
+    assert report.requests == [99]
+    assert report.band_floor_ns == report.band_ceil_ns == 100 * MS
+    # p90-p100 is the slowest ten.
+    report = attribute(_log(range(1, 101)), p_lo=90.0)
+    assert len(report.requests) == 10
+    assert report.band_floor_ns == 91 * MS
+
+
+def test_ranking_is_by_total_time_descending():
+    report = attribute(_log([50]), p_lo=0.0)
+    names = [stage.stage for stage in report.stages]
+    assert names[0] == "replay"  # 49 ms of the 50
+    assert names.index("replay") < names.index("queue")
+
+
+def test_shed_requests_are_excluded_by_default():
+    events = _log([10, 500], shed_rids={1})
+    report = attribute(events, p_lo=0.0)
+    assert report.requests == [0]
+    # ... but selectable explicitly.
+    report = attribute(events, p_lo=0.0, statuses=("shed",))
+    assert report.requests == [1]
+
+
+def test_empty_band_and_empty_log():
+    assert attribute([], p_lo=99.0).requests == []
+    report = attribute(_log([10]), p_lo=99.0)
+    assert report.requests == [0]  # band never selects nothing
+
+
+def test_bad_band_raises():
+    with pytest.raises(ObsError):
+        attribute(_log([10]), p_lo=90.0, p_hi=50.0)
+    with pytest.raises(ObsError):
+        attribute(_log([10]), p_lo=-1.0)
+
+
+def test_report_shapes():
+    report = attribute(_log([10, 20]), p_lo=0.0)
+    data = report.to_dict()
+    assert data["band"] == [0.0, 100.0]
+    assert data["total_ns"] == report.total_ns
+    assert all(set(s) == {"stage", "total_ns", "count", "requests"}
+               for s in data["stages"])
+    text = report.render()
+    assert "sum to end-to-end" in text
+    assert "replay" in text

@@ -10,7 +10,7 @@ from repro.soc.machine import Machine
 
 class TestRing:
     def test_bounded(self):
-        flight = FlightRecorder(ring_size=8)
+        flight = FlightRecorder(capacity=8)
         for i in range(100):
             flight.record(i, "RegRead", (0x10, i))
         assert len(flight) == 8
@@ -21,7 +21,7 @@ class TestRing:
         assert [e.t_ns for e in window] == list(range(92, 100))
 
     def test_window_last_n(self):
-        flight = FlightRecorder(ring_size=8)
+        flight = FlightRecorder(capacity=8)
         for i in range(5):
             flight.record(i, "Pacing", (i,))
         window = flight.window(last=2)
@@ -45,7 +45,7 @@ class TestRing:
         assert flight.action_index == -1
 
     def test_snapshot_gauges(self):
-        flight = FlightRecorder(ring_size=4)
+        flight = FlightRecorder(capacity=4)
         for i in range(6):
             flight.record(i, "RegWrite", (1, 2, 3))
         assert flight.snapshot() == {
@@ -57,7 +57,7 @@ class TestRing:
 
 class TestCapture:
     def test_tape_outlives_ring(self):
-        flight = FlightRecorder(ring_size=4)
+        flight = FlightRecorder(capacity=4)
         tape = flight.start_capture()
         for i in range(10):
             flight.record(i, "RegRead", (0, i))

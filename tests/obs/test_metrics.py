@@ -4,7 +4,7 @@ import pytest
 
 from repro.errors import ObsError
 from repro.obs import (LATENCY_BUCKETS_NS, SIZE_BUCKETS_BYTES,
-                       MetricsRegistry, global_registry)
+                       MetricsRegistry, global_registry, snapshot_diff)
 
 
 class TestCounter:
@@ -98,6 +98,25 @@ class TestPercentiles:
         hist.observe(5000)
         assert hist.percentile(99) == pytest.approx(10.0)
 
+    def test_overflow_count_is_reported(self):
+        hist = MetricsRegistry().histogram("h", (10, 100))
+        assert hist.overflow_count == 0
+        hist.observe(5)
+        hist.observe(5000)
+        hist.observe(9999)
+        assert hist.overflow_count == 2
+
+    def test_snapshot_carries_overflow_count(self):
+        registry = MetricsRegistry()
+        hist = registry.histogram("h", (10,))
+        hist.observe(5)
+        hist.observe(500)
+        snap = registry.snapshot()["histograms"]["h"]
+        assert snap["overflow_count"] == 1
+        # The clamp caveat: with overflow present, high quantiles sit
+        # at the last finite edge and are underestimates.
+        assert snap["p99"] == pytest.approx(10.0)
+
     def test_rejects_out_of_range(self):
         hist = MetricsRegistry().histogram("h", (10,))
         with pytest.raises(ObsError):
@@ -162,3 +181,49 @@ class TestRegistry:
 
     def test_global_registry_is_singleton(self):
         assert global_registry() is global_registry()
+
+
+class TestSnapshotDiff:
+    def _snapshots(self):
+        before = MetricsRegistry()
+        before.counter("kept").inc(5)
+        before.counter("gone").inc(1)
+        before.gauge("steady").set(1.5)
+        before.histogram("h", (10, 100)).observe(5)
+        after = MetricsRegistry()
+        after.counter("kept").inc(9)
+        after.counter("new").inc(2)
+        after.gauge("steady").set(1.5)
+        hist = after.histogram("h", (10, 100))
+        hist.observe(5)
+        hist.observe(50)
+        hist.observe(5000)  # overflow
+        return before.snapshot(), after.snapshot()
+
+    def test_added_removed_changed(self):
+        diff = snapshot_diff(*self._snapshots())
+        counters = diff["counters"]
+        assert counters["added"] == {"new": 2}
+        assert counters["removed"] == {"gone": 1}
+        assert counters["changed"]["kept"] == {
+            "before": 5, "after": 9, "delta": 4}
+        # Unchanged series are reported nowhere.
+        assert "steady" not in diff["gauges"]["changed"]
+
+    def test_histogram_deltas_and_percentile_shifts(self):
+        diff = snapshot_diff(*self._snapshots())
+        change = diff["histograms"]["changed"]["h"]
+        assert change["count_delta"] == 2
+        assert change["sum_delta"] == 5050
+        assert change["overflow_delta"] == 1
+        assert change["p99"]["after"] >= change["p99"]["before"]
+        assert change["p99"]["shift"] == pytest.approx(
+            change["p99"]["after"] - change["p99"]["before"])
+
+    def test_identical_snapshots_diff_empty(self):
+        snap, _ = self._snapshots()
+        diff = snapshot_diff(snap, snap)
+        for kind in ("counters", "gauges", "histograms"):
+            assert diff[kind]["added"] == {}
+            assert diff[kind]["removed"] == {}
+            assert diff[kind]["changed"] == {}

@@ -1,0 +1,127 @@
+"""SLO evaluation: compliance, burn rates, alert transitions.
+
+Synthetic terminal streams make the windowed math checkable by hand;
+determinism (same log -> byte-identical report) is what lets CI diff
+SLO reports across runs.
+"""
+
+import json
+
+import pytest
+
+from repro.errors import ObsError
+from repro.obs.rtrace import RequestTracer
+from repro.obs.slo import (SloSpec, default_slos, evaluate_slos,
+                           slo_report)
+from repro.soc.clock import VirtualClock
+from repro.units import MS
+
+
+def _log(outcomes):
+    """outcomes: (t_ms, latency_ms, status) per request."""
+    tracer = RequestTracer(VirtualClock())
+    for rid, (t_ms, latency_ms, status) in enumerate(outcomes):
+        start = int((t_ms - latency_ms) * MS)
+        tracer.submit(rid, t_ns=start)
+        tracer.finish(rid, status, t_ns=int(t_ms * MS))
+    return tracer.events
+
+
+AVAIL = SloSpec(name="avail", target=0.9, window_ns=10 * MS,
+                burn_threshold=2.0)
+
+
+def test_compliance_counts_good_statuses():
+    events = _log([(1, 1, "ok"), (2, 1, "degraded"), (3, 1, "shed"),
+                   (4, 1, "ok")])
+    result = evaluate_slos(events, [AVAIL])[0]
+    assert result.total == 4
+    assert result.good == 3
+    assert result.compliance == 0.75
+    assert not result.met
+
+
+def test_latency_cutoff_demotes_slow_requests():
+    spec = SloSpec(name="lat", target=0.5, latency_ns=10 * MS,
+                   window_ns=100 * MS)
+    events = _log([(20, 5, "ok"), (40, 50, "ok")])
+    result = evaluate_slos(events, [spec])[0]
+    assert result.good == 1
+    assert result.met  # 1/2 >= 0.5
+
+
+def test_burn_alert_fires_and_clears():
+    # Window 10 ms, budget 0.1: one bad in a window of <5 is burn >= 2.
+    events = _log(
+        # A failure burst...
+        [(1, 1, "ok"), (2, 1, "shed"), (3, 1, "shed")]
+        # ...then a long healthy tail in later windows.
+        + [(20 + i, 1, "ok") for i in range(10)])
+    result = evaluate_slos(events, [AVAIL])[0]
+    kinds = [alert.kind for alert in result.alerts]
+    assert kinds == ["fire", "clear"]
+    fire, clear = result.alerts
+    assert fire.t_ns == 2 * MS
+    assert fire.burn >= 2.0
+    assert clear.t_ns > fire.t_ns
+    assert result.max_burn >= fire.burn
+
+
+def test_window_evicts_old_requests():
+    # Two sheds 50 ms apart never share a 10 ms window: the burn at
+    # the second shed equals the burn at the first (1 bad of few),
+    # not an accumulation.
+    events = _log(
+        [(1, 1, "shed")] + [(2 + i, 1, "ok") for i in range(5)]
+        + [(51, 1, "shed")] + [(52 + i, 1, "ok") for i in range(5)])
+    result = evaluate_slos(events, [AVAIL])[0]
+    fires = [a for a in result.alerts if a.kind == "fire"]
+    assert len(fires) == 2
+    assert all(a.window_total <= 6 for a in fires)
+
+
+def test_same_log_yields_byte_identical_report():
+    events = _log([(i, 1, "ok" if i % 3 else "shed")
+                   for i in range(1, 40)])
+    a = json.dumps(slo_report(events, [AVAIL]), sort_keys=True)
+    b = json.dumps(slo_report(events, [AVAIL]), sort_keys=True)
+    assert a == b
+
+
+def test_empty_log_is_vacuously_met():
+    result = evaluate_slos([], [AVAIL])[0]
+    assert result.total == 0
+    assert result.compliance == 1.0
+    assert result.met
+    assert result.budget_consumed == 0.0
+
+
+def test_default_slos_cover_latency_and_availability():
+    specs = default_slos(deadline_ns=50 * MS)
+    names = {spec.name: spec for spec in specs}
+    assert names["latency"].latency_ns == 50 * MS
+    assert names["availability"].latency_ns is None
+
+
+def test_bad_specs_are_rejected():
+    events = _log([(1, 1, "ok")])
+    with pytest.raises(ObsError):
+        evaluate_slos(events, [SloSpec(name="x", target=1.5)])
+    with pytest.raises(ObsError):
+        evaluate_slos(events, [SloSpec(name="x", target=0.9,
+                                       window_ns=0)])
+    with pytest.raises(ObsError):
+        evaluate_slos(events, [SloSpec(name="x", target=0.9,
+                                       burn_threshold=0.0)])
+
+
+def test_report_shape():
+    events = _log([(1, 1, "ok"), (2, 1, "shed")])
+    report = slo_report(events, [AVAIL])
+    assert report["schema"] == "slo.v1"
+    assert report["requests"] == 2
+    entry = report["slos"][0]
+    assert entry["name"] == "avail"
+    assert 0.0 <= entry["compliance"] <= 1.0
+    text = evaluate_slos(events, [AVAIL])[0].render()
+    assert "avail" in text and ("MET" in text or "MISSED" in text)

@@ -183,3 +183,147 @@ class TestPatch:
         assert main(["patch", g31_recording_path, "--target-sku", "g71",
                      "--no-affinity", "-o", out_path]) == 0
         assert "0 affinity writes" in capsys.readouterr().out
+
+
+@pytest.fixture(scope="module")
+def trace_log_path(tmp_path_factory):
+    """One small faulted serve run, traced to disk -- shared by the
+    observability subcommand tests below."""
+    path = tmp_path_factory.mktemp("rtrace") / "events.jsonl"
+    assert main(["serve", "--requests", "30", "--seed", "424242",
+                 "--fault-rate", "0.25", "--no-verify",
+                 "--trace-out", str(path)]) == 0
+    return str(path)
+
+
+class TestServeTracing:
+    def test_trace_out_writes_valid_log(self, trace_log_path):
+        from repro.obs.rtrace import load_events, validate_events
+        events = load_events(trace_log_path)
+        assert validate_events(events) == []
+        assert {e["rid"] for e in events if e["rid"] >= 0} \
+            == set(range(30))
+        # The log is self-describing: loadgen + run headers present.
+        metas = {e["name"] for e in events if e["ev"] == "meta"}
+        assert {"loadgen", "run"} <= metas
+
+    def test_trace_chrome_writes_valid_timeline(self, tmp_path,
+                                                capsys):
+        import json
+
+        from repro.obs.chrome_trace import validate_chrome_trace
+        chrome_path = str(tmp_path / "trace.json")
+        assert main(["serve", "--requests", "10", "--seed", "7",
+                     "--no-verify", "--trace-chrome",
+                     chrome_path]) == 0
+        with open(chrome_path) as handle:
+            doc = json.load(handle)
+        assert validate_chrome_trace(doc) == []
+
+    def test_trace_out_conflicts_with_no_trace(self, tmp_path,
+                                               capsys):
+        assert main(["serve", "--requests", "5", "--no-trace",
+                     "--no-verify", "--trace-out",
+                     str(tmp_path / "x.jsonl")]) == 2
+        assert "drop --no-trace" in capsys.readouterr().err
+
+
+class TestTop:
+    def test_dashboard_renders(self, trace_log_path, capsys):
+        assert main(["top", trace_log_path, "--limit", "5"]) == 0
+        out = capsys.readouterr().out
+        assert "30 request(s)" in out
+        assert "breakdown" in out
+        assert "p99" in out
+
+    def test_rejects_non_log_file(self, tmp_path, capsys):
+        bad = tmp_path / "not-a-log.jsonl"
+        bad.write_text("this is not json\n")
+        assert main(["top", str(bad)]) == 2
+        assert "not a trace event log" in capsys.readouterr().err
+
+    def test_missing_file_is_usage_error(self, capsys):
+        assert main(["top", "/nonexistent/events.jsonl"]) == 2
+
+
+class TestAttribute:
+    def test_text_report_sums_to_end_to_end(self, trace_log_path,
+                                            capsys):
+        assert main(["attribute", trace_log_path, "--p-lo", "90"]) == 0
+        out = capsys.readouterr().out
+        assert "latency band p90-p100" in out
+        assert "sum to end-to-end" in out
+
+    def test_json_report_is_exhaustive(self, trace_log_path, capsys):
+        import json
+
+        assert main(["attribute", trace_log_path, "--p-lo", "0",
+                     "--json"]) == 0
+        report = json.loads(capsys.readouterr().out)
+        assert sum(s["total_ns"] for s in report["stages"]) \
+            == report["total_ns"]
+
+    def test_bad_band_is_an_error(self, trace_log_path, capsys):
+        assert main(["attribute", trace_log_path, "--p-lo", "90",
+                     "--p-hi", "10"]) == 1
+        assert "error" in capsys.readouterr().err
+
+
+class TestSlo:
+    def test_report_renders_both_objectives(self, trace_log_path,
+                                            capsys):
+        assert main(["slo", trace_log_path]) == 0
+        out = capsys.readouterr().out
+        assert "latency:" in out
+        assert "availability:" in out
+
+    def test_json_schema(self, trace_log_path, capsys):
+        import json
+
+        assert main(["slo", trace_log_path, "--json"]) == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["schema"] == "slo.v1"
+        assert report["requests"] == 30
+        assert {s["name"] for s in report["slos"]} \
+            == {"latency", "availability"}
+
+    def test_strict_exits_one_on_miss(self, trace_log_path, capsys):
+        # An impossible latency cutoff guarantees a miss.
+        assert main(["slo", trace_log_path, "--latency-ms", "0.000001",
+                     "--strict"]) == 1
+        assert "missed" in capsys.readouterr().err
+
+
+class TestStatsDiff:
+    def test_structured_diff(self, tmp_path, capsys):
+        import json
+
+        a = tmp_path / "a.json"
+        b = tmp_path / "b.json"
+        a.write_text(json.dumps({
+            "counters": {"x": 5}, "gauges": {},
+            "histograms": {"h": {"count": 1, "sum": 5,
+                                 "overflow_count": 0}}}))
+        b.write_text(json.dumps({
+            "counters": {"x": 8}, "gauges": {},
+            "histograms": {"h": {"count": 3, "sum": 25,
+                                 "overflow_count": 1}}}))
+        assert main(["stats", "--diff", str(a), str(b)]) == 0
+        out = capsys.readouterr().out
+        assert "5 -> 8" in out
+        assert "overflow +1" in out
+
+    def test_json_diff(self, tmp_path, capsys):
+        import json
+
+        a = tmp_path / "a.json"
+        b = tmp_path / "b.json"
+        a.write_text(json.dumps({"counters": {"x": 1}}))
+        b.write_text(json.dumps({"counters": {"x": 1, "y": 2}}))
+        assert main(["stats", "--diff", str(a), str(b), "--json"]) == 0
+        diff = json.loads(capsys.readouterr().out)
+        assert diff["counters"]["added"] == {"y": 2}
+
+    def test_stats_without_file_or_diff_is_usage_error(self, capsys):
+        assert main(["stats"]) == 2
+        assert "recording file" in capsys.readouterr().err
