@@ -8,6 +8,8 @@ Three claims, measured honestly on this machine:
   coherent GPU TLB, resident-dump skipping) replays at least 2x as
   many inferences per wall-clock second as the pre-fast-path
   configuration;
+- a fused mega-batch pass answers at least 2x as many member
+  inferences per second as per-request fast-path replays;
 - repeat replays skip re-uploading the recording's dump bytes.
 
 The committed ``BENCH_replay_fastpath.json`` pins the two speedup
@@ -42,6 +44,14 @@ def test_fast_path_at_least_2x_replay_throughput(measured):
         f"reference {measured['reference_replays_per_sec']:.0f}/s")
 
 
+def test_mega_batch_at_least_2x_fast_path(measured):
+    assert measured["mega_speedup"] >= 2.0, (
+        f"mega-batch {measured['mega_replays_per_sec']:.0f}/s vs "
+        f"fast path {measured['fast_replays_per_sec']:.0f}/s")
+    assert measured["mega_replays_per_sec"] >= \
+        2.0 * measured["fast_replays_per_sec"]
+
+
 def test_repeat_replays_skip_dump_uploads(measured):
     assert measured["upload_skipped_bytes"] > 0
     # The serve workload's point: the skipped bytes dwarf what still
@@ -52,7 +62,8 @@ def test_repeat_replays_skip_dump_uploads(measured):
 def test_pinned_ratios_within_tolerance(measured):
     """The same guard CI runs via ``grr bench --check``."""
     pinned = json.loads(PIN_FILE.read_text())
-    for metric in ("warm_load_speedup", "replay_speedup"):
+    for metric in ("warm_load_speedup", "replay_speedup",
+                   "mega_speedup"):
         floor = pinned[metric] * 0.8
         assert measured[metric] >= floor, (
             f"{metric} regressed: {measured[metric]:.2f} < "

@@ -34,7 +34,7 @@ time differs. The differential suite in
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, List, Optional, Tuple
+from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.core import actions as act
 from repro.core.interpreter import (ACTION_OVERHEAD_NS,
@@ -85,9 +85,20 @@ class CompiledProgram:
         self.intervals = intervals
         self.upload_plan = upload_plan
         self.board_key = board_key
+        self._superblocks: Optional[Dict[int, "Superblock"]] = None
 
     def __len__(self) -> int:
         return len(self.specs)
+
+    def superblocks(self) -> Dict[int, "Superblock"]:
+        """Superblock index for the mega-batch executor (lazy, cached).
+
+        Purely derived data: the normal :class:`CompiledExecutor` never
+        reads it, so the existing fast path is untouched.
+        """
+        if self._superblocks is None:
+            self._superblocks = compile_superblocks(self)
+        return self._superblocks
 
     @property
     def upload_plan_bytes(self) -> int:
@@ -178,6 +189,51 @@ def compile_program(recording: Recording,
     return CompiledProgram(recording, specs, names, srcs, flags,
                            intervals, upload_plan,
                            (nano.family, nano.mmio_base))
+
+
+@dataclass(frozen=True)
+class Superblock:
+    """A run of consecutive RegWrite actions fused into one dispatch.
+
+    The mega-batch executor pays one dispatch overhead and one pacing
+    computation for the whole run instead of one per action: the block
+    occupies ``max(pacing_ns, ACTION_OVERHEAD_NS + length *
+    MMIO_ACCESS_NS)`` of virtual time from its start, where
+    ``pacing_ns`` is the sum of the members' minimum intervals.
+    """
+
+    start: int
+    end: int          # half-open [start, end)
+    pacing_ns: int    # sum of member minimum pacing intervals
+
+    @property
+    def length(self) -> int:
+        return self.end - self.start
+
+
+def compile_superblocks(program: CompiledProgram) -> Dict[int, Superblock]:
+    """Index maximal RegWrite runs (length >= 2) by their start action.
+
+    The action right before the input-deposit point
+    (``prologue_len - 1``) is never fused: deposits must still fire
+    between that action and the next, exactly as in the unfused path.
+    """
+    blocks: Dict[int, Superblock] = {}
+    barrier = program.recording.meta.prologue_len - 1
+    specs = program.specs
+    intervals = program.intervals
+    i, n = 0, len(specs)
+    while i < n:
+        if specs[i][0] != _REG_WRITE or i == barrier:
+            i += 1
+            continue
+        j = i
+        while j < n and specs[j][0] == _REG_WRITE and j != barrier:
+            j += 1
+        if j - i >= 2:
+            blocks[i] = Superblock(i, j, sum(intervals[i:j]))
+        i = j
+    return blocks
 
 
 class CompiledExecutor:

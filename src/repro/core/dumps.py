@@ -17,10 +17,19 @@ from repro.soc.memory import PAGE_SIZE
 
 @dataclass(frozen=True)
 class MemoryDump:
-    """One contiguous region of captured GPU memory."""
+    """One contiguous region of captured GPU memory.
+
+    ``data`` is any C-contiguous read-only buffer: ``bytes`` from the
+    recorder/file loader, or a read-only ``memoryview`` into a
+    vault-fetched chunk buffer (the zero-copy fetch path). Everything
+    downstream -- digesting, upload-plan compilation, nano-driver
+    residency hashing, per-page MMU writes -- must treat it as an
+    opaque buffer and never assume ``bytes`` methods beyond len /
+    slicing / hashing. Equality compares content either way.
+    """
 
     va: int
-    data: bytes
+    data: bytes  # or a read-only memoryview (buffer protocol)
 
     @property
     def size(self) -> int:

@@ -1,0 +1,358 @@
+"""Mega-batch execution: one fused replay for N same-digest requests.
+
+The serve batcher (PR 4) already groups same-digest traffic onto one
+warm worker, but then replays each request sequentially -- N trips
+through the action chain for N requests whose chains are *identical by
+construction* (same recording digest). The mega executor runs the
+chain once and threads the batch through the data instead:
+
+- inputs for all N members are stacked into a
+  :class:`~repro.gpu.shader_exec.BatchEnv` armed on the GPU device, so
+  every shader pass evaluates N member tensors in one go while member
+  0 still flows through GPU memory (post-replay machine state equals a
+  solo replay of the head request);
+- runs of consecutive MMIO register writes execute as precompiled
+  :class:`~repro.core.compiled.Superblock` bulk applications -- one
+  dispatch overhead and one pacing computation per run instead of one
+  per action.
+
+The executor reuses the bound per-action closures of an existing
+:class:`~repro.core.compiled.CompiledExecutor`; the unfused fast path
+and the reference interpreter stay byte-identical and untouched as the
+differential anchors. Anything the batch dimension cannot represent
+raises :class:`~repro.errors.MegaBatchDivergence`, and callers fall
+back to per-request replay.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.core.compiled import FLAG_IRQ_EXIT, FLAG_KICK, CompiledExecutor
+from repro.core.interpreter import ACTION_OVERHEAD_NS, InterpreterStats
+from repro.core.nano_driver import MMIO_ACCESS_NS, UPLOAD_BW
+from repro.core.recording import Recording
+from repro.errors import MegaBatchDivergence, ReplayAborted, ReplayError
+from repro.gpu.shader_exec import BatchEnv
+from repro.obs.metrics import LATENCY_BUCKETS_NS
+from repro.units import SEC
+
+
+class MegaExecutor:
+    """Drives one fused replay over a bound :class:`CompiledExecutor`.
+
+    Not reentrant; create one per fused replay. ``superblocks_run``
+    and ``superblock_actions`` report how much of the chain executed
+    fused, for spans/metrics and tests.
+    """
+
+    def __init__(self, base: CompiledExecutor):
+        self.base = base
+        self.superblocks_run = 0
+        self.superblock_actions = 0
+
+    def execute(self, deposit_inputs: Optional[Callable[[], None]] = None,
+                should_yield: Optional[Callable[[], bool]] = None
+                ) -> InterpreterStats:
+        """Run the chain once; semantics mirror ``CompiledExecutor.
+        execute`` except for superblock pacing (see ``Superblock``).
+
+        The caller owns arming/clearing ``gpu.mega_batch``; this method
+        only walks the action chain.
+        """
+        base = self.base
+        base.stats = InterpreterStats()
+        base._job_span = None
+        stats = base.stats
+        obs = base.obs
+        emit = obs.enabled
+        clock = base.nano.clock
+        clock_now = clock.now
+        clock_advance = clock.advance
+        steps = base._steps
+        names = base.program.names
+        srcs = base.program.srcs
+        flags = base.program.flags
+        intervals = base.program.intervals
+        prologue_len = base.program.recording.meta.prologue_len
+        superblocks = base.program.superblocks()
+        actions_ctr = obs.counter("replay.actions")
+        pacing_ctr = obs.counter("replay.pacing_wait_ns")
+        sb_ctr = obs.counter("replay.superblocks")
+        sb_actions_ctr = obs.counter("replay.superblock.actions")
+        sb_hist = obs.histogram("replay.superblock.span_ns",
+                                LATENCY_BUCKETS_NS) if emit else None
+        actions_track = base._actions_track
+        jobs_track = base._jobs_track
+
+        flight = base._flight
+        flight_record = flight.record
+
+        executed = 0
+        pacing_total = 0
+        last_end = clock_now()
+
+        def on_flag(flag: int, index: int) -> None:
+            if flag & FLAG_KICK:
+                if stats.first_kick_at_ns < 0:
+                    stats.first_kick_at_ns = clock_now()
+                stats.jobs_kicked += 1
+                flight_record(clock_now(), "JobKick",
+                              (stats.jobs_kicked - 1,))
+                if base._job_span is not None:
+                    obs.end(base._job_span)
+                base._job_span = obs.begin(
+                    f"job[{stats.jobs_kicked - 1}]", jobs_track,
+                    cat="replay-job", args={"index": index})
+            if flag & FLAG_IRQ_EXIT:
+                if base._job_span is not None:
+                    obs.end(base._job_span)
+                    base._job_span = None
+
+        try:
+            index = 0
+            n = len(steps)
+            while index < n:
+                if should_yield is not None and should_yield():
+                    raise ReplayAborted("preempted by the environment",
+                                        index, srcs[index])
+
+                block = superblocks.get(index)
+                if block is not None:
+                    # One dispatch + one pacing computation for the
+                    # whole RegWrite run: the block occupies
+                    # max(sum of member intervals, overhead + length *
+                    # MMIO cost) of virtual time from its start.
+                    sb_t0 = clock_now()
+                    target_end = last_end + block.pacing_ns
+                    clock_advance(ACTION_OVERHEAD_NS)
+                    for i in range(block.start, block.end):
+                        flight.action_index = i
+                        steps[i](i)
+                        executed += 1
+                        flag = flags[i]
+                        if flag:
+                            on_flag(flag, i)
+                    now = clock_now()
+                    if target_end > now:
+                        wait = target_end - now
+                        pacing_total += wait
+                        if emit:
+                            pacing_ctr.inc(wait)
+                        flight_record(now, "Pacing", (wait,))
+                        clock_advance(wait)
+                    self.superblocks_run += 1
+                    self.superblock_actions += block.length
+                    if emit:
+                        actions_ctr.inc(block.length)
+                        sb_ctr.inc()
+                        sb_actions_ctr.inc(block.length)
+                        sb_hist.observe(clock_now() - sb_t0)
+                        obs.complete(
+                            f"superblock[{block.start}:{block.end}]",
+                            actions_track, sb_t0, clock_now(),
+                            cat="replay-superblock",
+                            args={"start": block.start,
+                                  "len": block.length,
+                                  "pacing_ns": block.pacing_ns})
+                    last_end = clock_now()
+                    index = block.end
+                    continue
+
+                flight.action_index = index
+                interval = intervals[index]
+                target = last_end + interval
+                now = clock_now()
+                if target > now:
+                    wait = target - now
+                    pacing_total += wait
+                    if emit:
+                        pacing_ctr.inc(wait)
+                    flight_record(now, "Pacing", (wait,))
+                    t_start = target
+                    clock_advance(wait + ACTION_OVERHEAD_NS)
+                else:
+                    t_start = now
+                    clock_advance(ACTION_OVERHEAD_NS)
+
+                steps[index](index)
+                executed += 1
+                if emit:
+                    actions_ctr.inc()
+                    obs.complete(names[index], actions_track, t_start,
+                                 clock_now(), cat="replay-action",
+                                 args={"index": index,
+                                       "src": srcs[index]})
+                flag = flags[index]
+                if flag:
+                    on_flag(flag, index)
+                last_end = clock_now()
+
+                if deposit_inputs is not None and \
+                        index == prologue_len - 1:
+                    deposit_inputs()
+                    deposit_inputs = None
+                    last_end = clock_now()
+                index += 1
+        except BaseException:
+            if base._job_span is not None:
+                obs.end(base._job_span)
+                base._job_span = None
+            raise
+        finally:
+            stats.actions_executed += executed
+            stats.pacing_wait_ns += pacing_total
+
+        if deposit_inputs is not None:
+            deposit_inputs()
+        return stats
+
+
+@dataclass
+class MegaReplayResult:
+    """Outcome of one fused mega-batch replay of N member requests."""
+
+    #: Per-member output dicts; index 0 is the head request, whose
+    #: replay also defines the post-replay machine state.
+    outputs: List[Dict[str, np.ndarray]]
+    duration_ns: int
+    stats: InterpreterStats
+    #: How many members the fused pass served.
+    batch: int
+    #: Superblocks executed (fused RegWrite runs).
+    superblocks: int = 0
+    startup_ns: int = 0
+
+
+def replay_mega(replayer,
+                inputs_list: Sequence[Optional[Dict[str, np.ndarray]]],
+                should_yield: Optional[Callable[[], bool]] = None
+                ) -> MegaReplayResult:
+    """Replay the staged recording for N inputs in one fused pass.
+
+    The action chain executes once (member 0 flows through GPU
+    memory exactly like :meth:`replay`, so post-replay machine
+    state equals a solo replay of the head request); members
+    1..N-1 live in a batch overlay evaluated by the batched shader
+    executor. Output tensors absent from the overlay were produced
+    batch-independently -- no input-dependent data flowed into
+    them, so member 0's bytes are correct for every member.
+
+    No internal retry ladder: a :class:`ReplayError` (including
+    :class:`MegaBatchDivergence`) propagates so callers can fall
+    back to per-request replay, which handles arbitrary aliasing
+    and recovery.
+    """
+    recording = replayer._require_loaded()
+    if not inputs_list:
+        raise ReplayError("empty mega-batch")
+    members = [dict(m or {}) for m in inputs_list]
+    if len({frozenset(m) for m in members}) > 1:
+        replayer.machine.obs.counter("replay.mega.diverged").inc()
+        raise MegaBatchDivergence(
+            "mega-batch members provide different input sets")
+    for member in members:
+        replayer._check_inputs(recording, member)
+    replayer._last_inputs = members[0]
+    n = len(members)
+
+    executor = replayer._fast_executor(False)
+    if executor is None:
+        raise ReplayError(
+            "mega-batch replay requires the compiled fast path")
+
+    t_start = replayer.machine.clock.now()
+    obs = replayer.machine.obs
+    obs_track = obs.track("replay", "session")
+    span = obs.begin(
+        f"replayer:replay-mega:{recording.meta.workload}", obs_track,
+        cat="replay", args={"batch": n})
+    obs.counter("replay.attempts").inc()
+    obs.counter("replay.mega.batches").inc()
+    obs.counter("replay.mega.requests").inc(n)
+    env = BatchEnv(n)
+    gpu = replayer.machine.gpu
+    mega = MegaExecutor(executor)
+    try:
+        gpu.mega_batch = env
+        try:
+            stats = mega.execute(
+                deposit_inputs=lambda: _deposit_mega(
+                    replayer, recording, members, env),
+                should_yield=replayer._yield_predicate(should_yield))
+        finally:
+            gpu.mega_batch = None
+        replayer._note_session_maps(recording)
+        all_outputs = [replayer._extract(recording)]
+        extract_ns = 0
+        for k in range(1, n):
+            member_out: Dict[str, np.ndarray] = {}
+            for io in recording.meta.outputs:
+                row = env.fetch(io.gaddr, io.size)
+                if row is None:
+                    member_out[io.name] = all_outputs[0][io.name].copy()
+                else:
+                    array = np.ascontiguousarray(row[k])
+                    if io.shape:
+                        array = array.reshape(io.shape)
+                    member_out[io.name] = array
+                # Members beyond the head pay the same copy-out
+                # bandwidth as a solo extract, without an MMU walk.
+                extract_ns += max(1, io.size * SEC // UPLOAD_BW)
+            all_outputs.append(member_out)
+        if extract_ns:
+            replayer.machine.clock.advance(extract_ns)
+    except ReplayAborted:
+        obs.end(span, args={"aborted": True})
+        replayer._note_flight_metrics(obs)
+        raise
+    except ReplayError as error:
+        replayer.machine.flight.record(
+            replayer.machine.clock.now(), "Divergence",
+            (1, type(error).__name__))
+        obs.counter("replay.mega.diverged").inc()
+        obs.end(span, args={"failed": True})
+        replayer._note_flight_metrics(obs)
+        raise
+    startup = (stats.first_kick_at_ns - t_start
+               if stats.first_kick_at_ns >= 0 else 0)
+    obs.end(span, args={"batch": n,
+                        "superblocks": mega.superblocks_run})
+    replayer._note_flight_metrics(obs)
+    return MegaReplayResult(
+        outputs=all_outputs,
+        duration_ns=replayer.machine.clock.now() - t_start,
+        stats=stats,
+        batch=n,
+        superblocks=mega.superblocks_run,
+        startup_ns=startup)
+
+def _deposit_mega(replayer, recording: Recording,
+                  members: List[Dict[str, np.ndarray]],
+                  env: BatchEnv) -> None:
+    n = len(members)
+    for io in recording.meta.inputs:
+        if io.name not in members[0]:
+            continue
+        stacked = np.stack([
+            np.ascontiguousarray(member[io.name], dtype=np.float32)
+            for member in members])
+        head = stacked[0].tobytes()
+        if len(head) != io.size:
+            raise ReplayError(
+                f"input {io.name!r}: {len(head)} bytes provided, "
+                f"recording expects {io.size}")
+        replayer.nano.copy_to_gpu(io.gaddr, head)
+        # Members beyond the head pay copy bandwidth into the batch
+        # overlay instead of GPU memory.
+        replayer.machine.clock.advance(
+            (n - 1) * max(1, io.size * SEC // UPLOAD_BW))
+        env.seed(io.gaddr, stacked)
+
+
+# Re-exported for callers sizing superblock floors in tests/benches.
+__all__ = ["MegaExecutor", "MegaReplayResult", "replay_mega",
+           "ACTION_OVERHEAD_NS", "MMIO_ACCESS_NS"]

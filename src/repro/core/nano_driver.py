@@ -465,6 +465,11 @@ class NanoGpuDriver:
         dirtied the range since -- the copy is skipped entirely: the
         bytes are already GPU-resident. Repeated replays of one
         recording and §5.4 delay-injection retries hit this path.
+
+        ``data`` may be any C-contiguous read-only buffer (``bytes`` or
+        a read-only ``memoryview`` into a vault chunk buffer): residency
+        hashing, length checks and per-page writes all operate on the
+        view without materializing an intermediate ``bytes`` copy.
         """
         if digest is None:
             digest = hashlib.sha256(data).hexdigest()

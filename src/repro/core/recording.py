@@ -312,7 +312,9 @@ def decode_skeleton(skeleton: bytes,
     ``payloads[i]`` must be exactly the bytes of dump ``i`` as the
     skeleton's dump table declares them; a count or size mismatch is a
     :class:`SerializationError` (the store's integrity chain should
-    have caught it earlier).
+    have caught it earlier). Payloads may be ``bytes`` or read-only
+    ``memoryview``s (the vault's zero-copy fetch path); they land in
+    :class:`MemoryDump` untouched, with no intermediate copy.
     """
     try:
         return _decode_body(skeleton, dump_payloads=payloads)

@@ -278,6 +278,10 @@ class Replayer:
                 preexisting_maps=dict(self._session_maps))
             return report, compile_program(recording, self.nano)
 
+        # Warm-path traffic bypasses the demand hit/miss counters by
+        # design; count it separately so prefetching is visible in
+        # ``grr stats`` instead of silently absent.
+        self.machine.obs.counter("replay.cache.warmed").inc()
         produced = LOAD_CACHE.warm(key, produce)
         if produced:
             self.machine.obs.counter("replay.cache.prefetched").inc()
@@ -482,6 +486,24 @@ class Replayer:
             attempts=total_attempts,
             stats=stats,
             startup_ns=startup)
+
+    # -- API: mega-batch replay ----------------------------------------------------------
+
+    def replay_mega(self,
+                    inputs_list: Sequence[Optional[Dict[str, np.ndarray]]],
+                    should_yield: Optional[Callable[[], bool]] = None
+                    ) -> "MegaReplayResult":
+        """Replay the staged recording for N inputs in one fused pass.
+
+        Thin entry point: the fused-execution machinery lives in
+        :mod:`repro.core.megabatch` (see :func:`~repro.core.megabatch.
+        replay_mega` for semantics). No internal retry ladder: a
+        :class:`~repro.errors.ReplayError` (including
+        :class:`~repro.errors.MegaBatchDivergence`) propagates so
+        callers can fall back to per-request replay.
+        """
+        from repro.core.megabatch import replay_mega
+        return replay_mega(self, inputs_list, should_yield)
 
     # -- CPU footprint (Section 7.3) ---------------------------------------------------------
 

@@ -150,6 +150,15 @@ class ReplayAborted(ReplayError):
     """The replay was preempted or cancelled by the environment."""
 
 
+class MegaBatchDivergence(ReplayError):
+    """A fused mega-batch replay hit state the batch dimension cannot
+    represent (e.g. a shader touching only part of a batched tensor).
+
+    Not a correctness failure of the recording: the caller falls back
+    to per-request replay, which handles arbitrary aliasing.
+    """
+
+
 class StoreError(ReproError):
     """Base class for recording-vault (``repro.store``) failures."""
 

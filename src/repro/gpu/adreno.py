@@ -26,7 +26,8 @@ from repro.errors import (GpuPageFault, JobDecodeError,
 from repro.gpu.device import GpuDevice, RunningJob
 from repro.gpu.isa import decode_program
 from repro.gpu.mmu import PTE_FORMATS
-from repro.gpu.shader_exec import execute_program
+from repro.gpu.shader_exec import (execute_program,
+                                   execute_program_batched)
 from repro.soc.machine import Machine
 from repro.soc.mmio import RegAttr, RegisterDef
 from repro.units import US
@@ -299,7 +300,11 @@ class AdrenoGpu(GpuDevice):
         self.note_job_retired(job)
         try:
             for program in job.programs:
-                execute_program(program, self.mmu)
+                if self.mega_batch is not None:
+                    execute_program_batched(program, self.mmu,
+                                            self.mega_batch)
+                else:
+                    execute_program(program, self.mmu)
         except GpuPageFault as fault:
             self._exit_busy()
             self._hw_pending.clear()

@@ -69,6 +69,12 @@ class GpuDevice:
         self._pending_ops: List[EventHandle] = []
         self._irq_level = False
 
+        # Mega-batch arming: when set to a shader_exec.BatchEnv, job
+        # completion evaluates shader programs batched (one pass for N
+        # fused requests) instead of unbatched. Owned by the replayer's
+        # mega executor, which clears it when the fused replay ends.
+        self.mega_batch = None
+
     # -- identity ------------------------------------------------------------
 
     @property

@@ -25,7 +25,8 @@ from repro.gpu import jobs as jobfmt
 from repro.gpu.device import GpuDevice, RunningJob
 from repro.gpu.isa import decode_program
 from repro.gpu.mmu import PTE_FORMATS
-from repro.gpu.shader_exec import execute_program
+from repro.gpu.shader_exec import (execute_program,
+                                   execute_program_batched)
 from repro.soc.machine import Machine
 from repro.soc.mmio import RegAttr, RegisterDef
 from repro.units import US
@@ -251,7 +252,11 @@ class V3dGpu(GpuDevice):
         self.note_job_retired(job)
         try:
             for program in job.programs:
-                execute_program(program, self.mmu)
+                if self.mega_batch is not None:
+                    execute_program_batched(program, self.mmu,
+                                            self.mega_batch)
+                else:
+                    execute_program(program, self.mmu)
         except GpuPageFault as fault:
             self._exit_busy()
             self.regs.poke("CTL_STATUS", STATUS_IDLE)

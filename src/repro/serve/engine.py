@@ -33,6 +33,7 @@ from __future__ import annotations
 
 import hashlib
 from dataclasses import dataclass, field
+from types import SimpleNamespace
 from typing import Dict, List, Optional, Tuple
 
 import numpy as np
@@ -89,6 +90,15 @@ class ServerConfig:
     #: Flight-recorder ring capacity per worker machine (None = the
     #: always-on default, DEFAULT_RING_SIZE).
     flight_capacity: Optional[int] = None
+    #: Fuse same-digest batches into one mega-batch replay: the worker
+    #: runs the action chain once with the batch stacked through the
+    #: shader executor, instead of once per request. Opt-in: fused
+    #: virtual times are *shorter* than sequential ones (that is the
+    #: point), so only same-config runs compare byte-for-byte. Batches
+    #: with faulted members, reference-mode or retried requests, and
+    #: any batch the batch dimension cannot represent fall back to the
+    #: per-request path automatically.
+    mega_batch: bool = False
 
     @classmethod
     def from_counts(cls, workers: int, families: Tuple[str, ...],
@@ -517,16 +527,21 @@ class ReplayServer:
         here; batch service times are measured as deltas, so warmup
         never leaks into a request's latency."""
         warmed = 0
+        calls = 0
         for worker in self.workers:
             for family, model in self.store.mix():
                 if family != worker.family:
                     continue
                 if not self.store.available(family, model):
                     continue
+                calls += 1
                 if worker.replayer.prefetch(
                         self.store.healthy(family, model)):
                     warmed += 1
         self.obs.counter("serve.store.prefetched").inc(warmed)
+        # Mirror of the per-machine replay.cache.warmed counters, so
+        # prefetch traffic shows up in the server-side snapshot too.
+        self.obs.counter("replay.cache.warmed").inc(calls)
         fetches = self.store.drain_fetches()
         self.rtrace.meta("prefetch", args={"warmed": warmed,
                                            "fetches": fetches})
@@ -762,7 +777,19 @@ class ReplayServer:
         except ReproError:
             staged = False
             load_span(head_rid, attempt_sid[head_rid], 0, failed=True)
-        for slot, request in enumerate(batch):
+        fused = False
+        if (staged and self.config.mega_batch and len(batch) > 1
+                and mode == "fast"
+                and all(r.fault is None for r in batch)):
+            fused = self._run_fused(worker, batch, recording,
+                                    attempt_sid, dispatch_ns, off,
+                                    results)
+            if not fused:
+                # The fused attempt healed the worker; the per-request
+                # loop below restages and serves every member down the
+                # normal ladder.
+                staged = False
+        for slot, request in enumerate(batch if not fused else []):
             rid = request.rid
             asid = attempt_sid[rid]
             wait_off = off()
@@ -828,6 +855,57 @@ class ReplayServer:
             service_ns,
             lambda: self._on_batch_done(worker, dispatch_ns, mode,
                                         len(batch), results))
+
+    def _run_fused(self, worker: Worker, batch: List[ServeRequest],
+                   recording, attempt_sid: Dict[int, int],
+                   dispatch_ns: int, off, results) -> bool:
+        """One fused mega-batch replay serving the whole batch.
+
+        On success, fills ``results`` (every member: 1 attempt, same
+        completion offset) and returns True. On any
+        :class:`ReplayError` -- including a batch-dimension divergence
+        -- heals the worker and returns False; the caller's
+        per-request loop then serves every member down the normal
+        failure ladder, so a fused failure costs latency, never
+        answers.
+        """
+        rt = self.rtrace
+        n = len(batch)
+        fuse_off = off()
+        worker.replayer.fast_path = True
+        inputs_list = [request_inputs(recording, request.input_seed)
+                       for request in batch]
+        try:
+            mega = worker.replayer.replay_mega(inputs_list)
+        except ReplayError as error:
+            self.obs.counter("serve.mega.fallbacks").inc()
+            rt.mark(batch[0].rid, "mega.fallback",
+                    psid=attempt_sid[batch[0].rid],
+                    args={"error": type(error).__name__})
+            worker.heal()
+            return False
+        done_off = off()
+        self.obs.counter("serve.mega.batches").inc()
+        self.obs.counter("serve.mega.requests").inc(n)
+        self.obs.histogram("serve.mega.size",
+                           BATCH_BUCKETS).observe(n)
+        shim = SimpleNamespace(stats=mega.stats, attempts=1)
+        for slot, request in enumerate(batch):
+            rid = request.rid
+            asid = attempt_sid[rid]
+            if slot > 0 and fuse_off > 0:
+                wait_sid = rt.begin(rid, "batch.wait", psid=asid,
+                                    t_ns=dispatch_ns)
+                rt.end(rid, wait_sid, t_ns=dispatch_ns + fuse_off)
+            self._trace_replay(rid, asid, dispatch_ns, fuse_off,
+                               done_off, "fast", shim)
+            rt.mark(rid, "mega.fused", psid=asid,
+                    args={"batch": n, "slot": slot,
+                          "superblocks": mega.superblocks})
+            rt.end(rid, asid, t_ns=dispatch_ns + done_off,
+                   args={"outcome": "ok"})
+            results.append((request, mega.outputs[slot], 1, done_off))
+        return True
 
     def _trace_replay(self, rid: int, asid: int, dispatch_ns: int,
                       start_off: int, end_off: int, mode: str,

@@ -391,10 +391,23 @@ class Vault:
 
     def _reassemble(self, manifest: Manifest,
                     verify: bool) -> Recording:
+        """Rebuild a Recording, handing dump payloads out as read-only
+        ``memoryview``s instead of reassembled ``bytes``.
+
+        A single-chunk dump (the common case under content-defined
+        chunking) is a zero-copy view straight into the fetched chunk
+        buffer; multi-chunk dumps are assembled once into a buffer and
+        viewed. Downstream -- ``MemoryDump`` digesting, the compiled
+        upload plan, nano-driver residency hashing and per-page writes
+        -- operates on the views without materializing ``bytes``, so
+        the chunk buffer is the *only* copy of the payload in memory.
+        Views are read-only: the vault owns the underlying buffers and
+        nothing downstream may mutate them.
+        """
         skeleton = self._get_object(
             manifest.skeleton_digest, manifest.skeleton_size,
             context={"recording_digest": manifest.digest})
-        payloads: List[bytes] = []
+        payloads: List[memoryview] = []
         for dump_index, (va, size, chunk_list) in \
                 enumerate(manifest.dumps):
             parts: List[bytes] = []
@@ -410,7 +423,15 @@ class Vault:
                     parts.append(self._read_object_best_effort(
                         chunk_digest, chunk_size))
                 offset += chunk_size
-            payload = b"".join(parts)
+            if len(parts) == 1:
+                payload = memoryview(parts[0])
+            else:
+                buf = bytearray(sum(len(p) for p in parts))
+                cursor = 0
+                for p in parts:
+                    buf[cursor:cursor + len(p)] = p
+                    cursor += len(p)
+                payload = memoryview(buf).toreadonly()
             if len(payload) != size:
                 raise StoreCorruptionError(
                     f"dump reassembled to {len(payload)} bytes, "

@@ -552,10 +552,10 @@ def cmd_bench(args) -> int:
 
     if args.suite == "serve":
         def measure():
-            return measure_serve()
-        guarded = ("throughput_ratio",)
+            return measure_serve(mega=args.mega)
+        guarded = ("throughput_ratio", "plain_throughput_ratio")
         def render():
-            return serve_throughput().render()
+            return serve_throughput(mega=args.mega).render()
     elif args.suite == "store":
         def measure():
             return measure_store()
@@ -568,7 +568,8 @@ def cmd_bench(args) -> int:
                                     model_name=args.model,
                                     replays=args.replays)
         guarded = ("warm_load_speedup", "replay_speedup",
-                   "fast_replays_per_sec")
+                   "fast_replays_per_sec", "mega_replays_per_sec",
+                   "mega_speedup")
         def render():
             return replay_fastpath(family=args.family,
                                    model_name=args.model,
@@ -590,6 +591,24 @@ def cmd_bench(args) -> int:
                       f"floor {floor:.2f}) {status}", file=sys.stderr)
                 if got < floor:
                     failures.append(metric)
+            # Relative drift of every shared numeric metric (guarded
+            # or not) vs the committed pin, rendered through the same
+            # machinery as `grr stats --diff` so the output reads the
+            # same in CI logs and local triage.
+            import contextlib
+
+            from repro.obs.metrics import snapshot_diff
+
+            def as_gauges(result):
+                return {"gauges": {
+                    name: value for name, value in result.items()
+                    if isinstance(value, (int, float))
+                    and not isinstance(value, bool)}}
+
+            print(f"delta vs pin {args.check}:", file=sys.stderr)
+            with contextlib.redirect_stdout(sys.stderr):
+                _print_snapshot_diff(
+                    snapshot_diff(as_gauges(pinned), as_gauges(measured)))
             if failures:
                 print(f"error: {args.suite} regression in "
                       f"{', '.join(failures)} (>"
@@ -632,7 +651,7 @@ def cmd_serve(args) -> int:
     server = ReplayServer(store, ServerConfig(
         families=worker_families, seed=args.seed,
         queue_depth=args.queue_depth, max_batch=args.max_batch,
-        trace=tracing))
+        mega_batch=args.mega, trace=tracing))
     # Stamp the load shape into the event log so a saved trace is
     # self-describing (no-op when tracing is off).
     server.rtrace.meta("loadgen", args=load_cfg.to_dict())
@@ -686,6 +705,13 @@ def cmd_serve(args) -> int:
               f"{counters.get('serve.worker_failures', 0)}  "
               f"cpu fallbacks "
               f"{counters.get('serve.cpu_fallbacks', 0)}")
+        if args.mega:
+            print(f"  mega batches "
+                  f"{counters.get('serve.mega.batches', 0)} "
+                  f"({counters.get('serve.mega.requests', 0)} fused "
+                  f"requests, "
+                  f"{counters.get('serve.mega.fallbacks', 0)} "
+                  f"fallbacks)")
         print(f"  latency p50 {fmt_ns(int(percentiles['p50']))}  "
               f"p95 {fmt_ns(int(percentiles['p95']))}  "
               f"p99 {fmt_ns(int(percentiles['p99']))}")
@@ -996,6 +1022,13 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--family", default="mali")
     bench.add_argument("--model", default="dense-serve")
     bench.add_argument("--replays", type=int, default=20)
+    bench.add_argument("--mega", dest="mega", action="store_true",
+                       default=True,
+                       help="serve suite: guard the mega-batched "
+                       "(fused replay) arm (default)")
+    bench.add_argument("--no-mega", dest="mega", action="store_false",
+                       help="serve suite: guard the plain batched arm "
+                       "(per-request replay) instead")
     bench.add_argument("--json", action="store_true",
                        help="machine-readable output "
                        "(the BENCH_replay_fastpath.json format)")
@@ -1023,6 +1056,10 @@ def build_parser() -> argparse.ArgumentParser:
                        "fault (transient/sticky/poison)")
     serve.add_argument("--max-batch", type=int, default=4)
     serve.add_argument("--queue-depth", type=int, default=64)
+    serve.add_argument("--mega", action="store_true",
+                       help="fuse same-digest fast-path batches into "
+                       "one mega-batch replay (falls back to "
+                       "per-request replay on divergence)")
     serve.add_argument("--json", action="store_true",
                        help="machine-readable run summary")
     serve.add_argument("--no-verify", action="store_true",

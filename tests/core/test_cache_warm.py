@@ -49,3 +49,48 @@ class TestReplayerPrefetch:
                         workload.input_shape, "float32")})
         assert result.outputs
         replayer.cleanup()
+
+
+class TestWarmedCounter:
+    """Prefetch traffic is counted (`replay.cache.warmed`) without
+    polluting the demand hit/miss accounting."""
+
+    def test_prefetch_increments_warmed_counter(self):
+        from repro.obs import enable_observability
+
+        clear_load_cache()
+        workload, _stack = get_recorded("mali", "mnist")
+        machine = fresh_replay_machine("mali", seed=4)
+        enable_observability(machine)
+        replayer = Replayer(machine)
+        replayer.init()
+
+        replayer.prefetch(workload.recording)
+        replayer.prefetch(workload.recording)  # warm, still traffic
+        counters = machine.obs.snapshot()["counters"]
+        assert counters.get("replay.cache.warmed") == 2
+        assert "replay.cache.hits" not in counters
+
+        # a demand load is a hit, not more warm traffic
+        replayer.load(workload.recording)
+        counters = machine.obs.snapshot()["counters"]
+        assert counters.get("replay.cache.warmed") == 2
+        replayer.cleanup()
+
+    def test_serve_prefetch_traffic_lands_in_server_snapshot(self):
+        from repro.serve import (LoadgenConfig, RecordingStore,
+                                 ReplayServer, ServerConfig,
+                                 generate_requests)
+
+        clear_load_cache()
+        mix = (("mali", "mnist"),)
+        store = RecordingStore.from_zoo(mix)
+        server = ReplayServer(store, ServerConfig(
+            families=("mali",), seed=3, prefetch=True))
+        report = server.serve(generate_requests(LoadgenConfig(
+            requests=2, seed=1, mix=mix, mean_interarrival_ns=0,
+            deadline_ns=0, fault_rate=0.0)))
+        server.close()
+        counters = report.snapshot["counters"]
+        assert counters.get("replay.cache.warmed", 0) >= 1
+        assert counters.get("serve.store.prefetched", 0) >= 1
