@@ -1,0 +1,75 @@
+"""Observability overhead: acceptance benchmarks.
+
+Three claims:
+
+- always-on observability (request tracing + the GPU counter tape +
+  time-series scrapes) costs at most 10% wall-clock on the serving
+  benchmark, measured best-of-N with alternating arms;
+- it costs exactly *zero* virtual time -- the on and off arms finish
+  with identical makespans (the determinism contract: obs only reads
+  the clock);
+- the speed ratio is pinned in ``BENCH_obs.json`` and CI re-checks it
+  via ``grr bench --suite obs --check`` (wall-clock metric, so the
+  guard tolerance is the loose fast-path one, not the exact virtual
+  one).
+"""
+
+import json
+import pathlib
+
+import pytest
+
+from repro.bench.experiments import measure_obs, obs_overhead
+
+PIN_FILE = pathlib.Path(__file__).resolve().parent.parent / \
+    "BENCH_obs.json"
+
+#: The headline budget: full observability may cost at most this
+#: fraction of serving wall time.
+OVERHEAD_BUDGET = 0.10
+
+
+@pytest.fixture(scope="module")
+def measured():
+    return measure_obs()
+
+
+def test_overhead_within_budget(measured):
+    assert measured["overhead_ratio"] <= OVERHEAD_BUDGET, (
+        f"observability costs {measured['overhead_ratio']:.1%} "
+        f"wall-clock (budget {OVERHEAD_BUDGET:.0%}): "
+        f"on {measured['wall_on_s']:.3f}s vs "
+        f"off {measured['wall_off_s']:.3f}s")
+
+
+def test_observability_is_free_in_virtual_time(measured):
+    # measure_obs() raises if the arms' makespans diverge; the pin
+    # additionally locks the shared makespan so a determinism break
+    # that shifts BOTH arms together still gets caught.
+    pinned = json.loads(PIN_FILE.read_text())
+    assert measured["makespan_ns"] == pinned["makespan_ns"]
+
+
+def test_counter_tape_is_deterministic(measured):
+    pinned = json.loads(PIN_FILE.read_text())
+    for key in ("gpu_instructions", "gpu_kernels", "gpu_mmio_writes",
+                "trace_events", "timeseries_series"):
+        assert measured[key] == pinned[key], key
+
+
+def test_pinned_speed_ratio_within_tolerance(measured):
+    """The same guard CI runs via ``grr bench --suite obs --check``."""
+    pinned = json.loads(PIN_FILE.read_text())
+    floor = pinned["obs_speed_ratio"] * 0.8
+    assert measured["obs_speed_ratio"] >= floor, (
+        f"obs_speed_ratio regressed: "
+        f"{measured['obs_speed_ratio']:.2f} < floor {floor:.2f} "
+        f"(pinned {pinned['obs_speed_ratio']:.2f})")
+
+
+def test_obs_table_renders(experiment):
+    table = experiment(obs_overhead)
+    metrics = {row["metric"]: row["value"] for row in table.rows}
+    assert metrics["overhead_ratio"] <= OVERHEAD_BUDGET
+    assert metrics["trace_events"] > 0
+    assert metrics["gpu_kernels"] > 0

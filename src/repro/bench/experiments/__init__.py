@@ -19,6 +19,7 @@ from repro.bench.experiments.fig11 import recording_granularity
 from repro.bench.experiments.tab04 import codebase_comparison
 from repro.bench.experiments.tab05 import cve_elimination
 from repro.bench.experiments.tab06 import recording_stats
+from repro.bench.experiments.obs_bench import measure_obs, obs_overhead
 from repro.bench.experiments.serve_bench import (measure_serve,
                                                  serve_throughput)
 from repro.bench.experiments.store_bench import (measure_store,
@@ -37,8 +38,10 @@ __all__ = [
     "inference_delays",
     "interaction_intervals",
     "measure_fastpath",
+    "measure_obs",
     "measure_serve",
     "measure_store",
+    "obs_overhead",
     "preemption_delays",
     "recording_granularity",
     "recording_stats",

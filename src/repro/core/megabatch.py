@@ -275,6 +275,7 @@ def replay_mega(replayer,
     obs.counter("replay.mega.requests").inc(n)
     env = BatchEnv(n)
     gpu = replayer.machine.gpu
+    gpu.counters.begin_session(recording.digest())
     mega = MegaExecutor(executor)
     try:
         gpu.mega_batch = env

@@ -77,6 +77,10 @@ class NanoGpuDriver:
         # path funnel through, so recording here keeps the two paths'
         # event streams identical by construction.
         self.flight = machine.flight
+        # The GPU's emulated performance-counter tape: register writes
+        # and skipped resident uploads are session-level costs, and
+        # this driver is likewise the chokepoint they all cross.
+        self.counters = gpu.counters
         self._in_poll = False
 
     # -- register map (the §5.1 name->address resolution) -----------------------
@@ -134,6 +138,8 @@ class NanoGpuDriver:
                      mask: int = 0xFFFFFFFF) -> None:
         self.clock.advance(MMIO_ACCESS_NS)
         self.reg_io_count += 1
+        if self.counters.enabled:
+            self.counters.note_mmio_write()
         if mask != 0xFFFFFFFF:
             current = self.machine.mmio.read(addr)
             value = (current & ~mask) | (value & mask)
@@ -475,6 +481,8 @@ class NanoGpuDriver:
             digest = hashlib.sha256(data).hexdigest()
         if self._resident.get(va) == (digest, len(data)):
             self.clock.advance(RESIDENT_CHECK_NS)
+            if self.counters.enabled:
+                self.counters.note_upload_skipped(len(data))
             self.flight.record(self.clock.now(), "Upload",
                                (va, len(data), 0))
             return 0

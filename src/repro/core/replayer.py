@@ -336,6 +336,7 @@ class Replayer:
         last_error: Optional[ReplayError] = None
         while attempts < max_attempts:
             attempts += 1
+            self.machine.gpu.counters.begin_session(recording.digest())
             obs.counter("replay.attempts").inc()
             if attempts > 1:
                 obs.counter("replay.retries").inc()

@@ -26,8 +26,6 @@ from repro.errors import (GpuPageFault, JobDecodeError,
 from repro.gpu.device import GpuDevice, RunningJob
 from repro.gpu.isa import decode_program
 from repro.gpu.mmu import PTE_FORMATS
-from repro.gpu.shader_exec import (execute_program,
-                                   execute_program_batched)
 from repro.soc.machine import Machine
 from repro.soc.mmio import RegAttr, RegisterDef
 from repro.units import US
@@ -299,12 +297,7 @@ class AdrenoGpu(GpuDevice):
         self._hw_active = None
         self.note_job_retired(job)
         try:
-            for program in job.programs:
-                if self.mega_batch is not None:
-                    execute_program_batched(program, self.mmu,
-                                            self.mega_batch)
-                else:
-                    execute_program(program, self.mmu)
+            self._run_job_programs(job)
         except GpuPageFault as fault:
             self._exit_busy()
             self._hw_pending.clear()

@@ -12,8 +12,11 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Tuple
 
+from repro.gpu.counters import CounterTape
 from repro.gpu.mmu import GpuMmu, PteFormat
 from repro.gpu.perf import GpuPerfModel
+from repro.gpu.shader_exec import (execute_program,
+                                   execute_program_batched)
 from repro.soc.clock import ClockDomain, EventHandle
 from repro.soc.machine import Machine
 from repro.soc.mmio import RegisterDef, RegisterFile
@@ -55,6 +58,10 @@ class GpuDevice:
             stabilize_ns=100 * US)
         self.mmu = GpuMmu(machine.memory, pte_format)
         self.perf = GpuPerfModel()
+        #: Emulated performance-counter tape (always on, like the
+        #: flight recorder); replayers open sessions on it, job
+        #: completion records per-kernel rows into it.
+        self.counters = CounterTape()
 
         # Busy/idle tracking: transitions feed the recorder's
         # "GPU idle through the interval => skippable" heuristic (§4.5).
@@ -165,6 +172,41 @@ class GpuDevice:
             if job.obs_span is not None:
                 self.machine.obs.end(job.obs_span)
                 job.obs_span = None
+
+    # -- shader execution (shared by the family completion paths) ---------------
+
+    def _run_job_programs(self, job: RunningJob) -> None:
+        """Execute every shader program of a retiring job.
+
+        One shared implementation for all three families so the
+        counter tape sees each kernel exactly once: instructions
+        retired (the executor's return value), the TLB hit/miss delta
+        the program caused, and the mega-batch fan-out it ran under.
+        Raises :class:`GpuPageFault` exactly like the inline loops it
+        replaced; callers keep their fault handling.
+        """
+        env = self.mega_batch
+        mmu = self.mmu
+        tape = self.counters
+        if not tape.enabled:
+            for program in job.programs:
+                if env is not None:
+                    execute_program_batched(program, mmu, env)
+                else:
+                    execute_program(program, mmu)
+            return
+        tape.begin_job()
+        fanout = env.n if env is not None else 0
+        for program in job.programs:
+            hits0 = mmu.tlb_hits
+            misses0 = mmu.tlb_misses
+            if env is not None:
+                retired = execute_program_batched(program, mmu, env)
+            else:
+                retired = execute_program(program, mmu)
+            tape.record_kernel(program, retired,
+                               mmu.tlb_hits - hits0,
+                               mmu.tlb_misses - misses0, fanout)
 
     # -- scheduling helpers -----------------------------------------------------
 

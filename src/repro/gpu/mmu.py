@@ -217,6 +217,10 @@ class GpuMmu:
         self.enabled = False
         self._tlb: Dict[Tuple[int, str], int] = {}
         self.fault_count = 0
+        #: Emulated TLB performance counters (plain ints on the hot
+        #: path; the device's CounterTape samples deltas per kernel).
+        self.tlb_hits = 0
+        self.tlb_misses = 0
         #: Optional observer of GPU-side VA writes: ``fn(va, size)``.
         #: The replayer's nano driver subscribes so its GPU-resident
         #: dump tracking sees buffers the GPU itself overwrites.
@@ -281,7 +285,9 @@ class GpuMmu:
         page_va = va & ~(PAGE_SIZE - 1)
         cached = self._tlb.get((page_va, access))
         if cached is not None:
+            self.tlb_hits += 1
             return cached | (va & (PAGE_SIZE - 1))
+        self.tlb_misses += 1
         l0, l1, offset = split_va(va)
         l0_entry = self.memory.read_u64(self.base_pa + l0 * 8) \
             if self.fmt.pte_size == 8 else \
@@ -326,6 +332,7 @@ class GpuMmu:
             if base is None:
                 pa = self.translate(cursor, access)
             else:
+                self.tlb_hits += 1
                 pa = base | offset
             chunks.append(mem_read(pa, chunk))
             cursor += chunk

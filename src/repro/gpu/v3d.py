@@ -25,8 +25,6 @@ from repro.gpu import jobs as jobfmt
 from repro.gpu.device import GpuDevice, RunningJob
 from repro.gpu.isa import decode_program
 from repro.gpu.mmu import PTE_FORMATS
-from repro.gpu.shader_exec import (execute_program,
-                                   execute_program_batched)
 from repro.soc.machine import Machine
 from repro.soc.mmio import RegAttr, RegisterDef
 from repro.units import US
@@ -251,12 +249,7 @@ class V3dGpu(GpuDevice):
             return
         self.note_job_retired(job)
         try:
-            for program in job.programs:
-                if self.mega_batch is not None:
-                    execute_program_batched(program, self.mmu,
-                                            self.mega_batch)
-                else:
-                    execute_program(program, self.mmu)
+            self._run_job_programs(job)
         except GpuPageFault as fault:
             self._exit_busy()
             self.regs.poke("CTL_STATUS", STATUS_IDLE)

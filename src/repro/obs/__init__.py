@@ -23,6 +23,12 @@ the one place all of that telemetry flows through:
   rtrace logs (exclusive-time decomposition by stage);
 - :mod:`repro.obs.slo` -- declarative latency/error-budget objectives
   with sliding-window burn rates and deterministic alerts;
+- :mod:`repro.obs.prof` -- the continuous profiler: exclusive
+  virtual time folded onto server/worker/rung/action/kernel frame
+  stacks (``.folded`` + Chrome flamegraph export);
+- :mod:`repro.obs.timeseries` -- periodic virtual-clock scrapes of
+  the metrics registry into ring-buffered series (OpenMetrics +
+  JSONL exporters, ``grr dash``);
 - :mod:`repro.obs.doctor` -- divergence localization and failure
   forensics (NOT imported here: it depends on the replayer, which
   depends on the machine, which imports this package -- import it
@@ -38,6 +44,8 @@ from repro.obs.chrome_trace import validate_chrome_trace
 from repro.obs.metrics import (LATENCY_BUCKETS_NS, SIZE_BUCKETS_BYTES,
                                Counter, Gauge, Histogram, MetricsRegistry,
                                global_registry, snapshot_diff)
+from repro.obs.prof import (chrome_flame, folded_stacks, parse_folded,
+                            to_folded_text, validate_folded)
 from repro.obs.rtrace import (NULL_RTRACE, NullRequestTracer,
                               RequestTracer, SpanNode, events_to_chrome,
                               events_to_jsonl, load_events, span_trees,
@@ -46,6 +54,8 @@ from repro.obs.session import (NULL_OBS, NullObservability, Observability,
                                enable_observability)
 from repro.obs.slo import (SloAlert, SloResult, SloSpec, default_slos,
                            evaluate_slos, slo_report)
+from repro.obs.timeseries import (TimeSeriesCollector,
+                                  validate_openmetrics)
 from repro.obs.tracer import SpanTracer, Track
 
 __all__ = [
@@ -67,18 +77,25 @@ __all__ = [
     "SloSpec",
     "SpanNode",
     "SpanTracer",
+    "TimeSeriesCollector",
     "Track",
     "attribute",
+    "chrome_flame",
     "default_slos",
     "enable_observability",
     "evaluate_slos",
     "events_to_chrome",
     "events_to_jsonl",
+    "folded_stacks",
     "global_registry",
     "load_events",
+    "parse_folded",
     "slo_report",
     "snapshot_diff",
     "span_trees",
+    "to_folded_text",
     "validate_chrome_trace",
     "validate_events",
+    "validate_folded",
+    "validate_openmetrics",
 ]

@@ -214,7 +214,18 @@ def snapshot_diff(before: Dict[str, Dict[str, object]],
     changed value (``changed``). Counters and gauges report numeric
     deltas; histograms report count/sum deltas plus percentile shifts
     -- the before/after triage view ``grr stats --diff`` renders.
+
+    Snapshots may come from different runs of different code versions
+    (that is the whole point), so the diff is defensive: metrics
+    present only in ``after`` (counters registered mid-run) land in
+    ``added``, kind sections may be missing or ``None`` entirely, and
+    malformed values degrade to a before/after report without a delta
+    instead of raising.
     """
+    def _numeric(value) -> bool:
+        return isinstance(value, (int, float)) \
+            and not isinstance(value, bool)
+
     report: Dict[str, object] = {}
     for kind in ("counters", "gauges"):
         a = dict(before.get(kind) or {})
@@ -224,10 +235,10 @@ def snapshot_diff(before: Dict[str, Dict[str, object]],
         changed = {}
         for name in sorted(set(a) & set(b)):
             if a[name] != b[name]:
-                changed[name] = {
-                    "before": a[name], "after": b[name],
-                    "delta": b[name] - a[name],
-                }
+                entry = {"before": a[name], "after": b[name]}
+                if _numeric(a[name]) and _numeric(b[name]):
+                    entry["delta"] = b[name] - a[name]
+                changed[name] = entry
         report[kind] = {
             "added": added, "removed": removed, "changed": changed}
     a = dict(before.get("histograms") or {})
@@ -239,15 +250,25 @@ def snapshot_diff(before: Dict[str, Dict[str, object]],
         ha, hb = a[name], b[name]
         if ha == hb:
             continue
+        if not isinstance(ha, dict) or not isinstance(hb, dict):
+            hchanged[name] = {"before": ha, "after": hb}
+            continue
+
+        def _field_delta(field: str, pa=ha, pb=hb):
+            va, vb = pa.get(field, 0), pb.get(field, 0)
+            if _numeric(va) and _numeric(vb):
+                return vb - va
+            return 0
+
         entry: Dict[str, object] = {
-            "count_delta": hb.get("count", 0) - ha.get("count", 0),
-            "sum_delta": hb.get("sum", 0) - ha.get("sum", 0),
-            "overflow_delta": (hb.get("overflow_count", 0)
-                               - ha.get("overflow_count", 0)),
+            "count_delta": _field_delta("count"),
+            "sum_delta": _field_delta("sum"),
+            "overflow_delta": _field_delta("overflow_count"),
         }
         for p in ("p50", "p95", "p99"):
             pa, pb = ha.get(p, 0.0), hb.get(p, 0.0)
-            entry[p] = {"before": pa, "after": pb, "shift": pb - pa}
+            shift = pb - pa if _numeric(pa) and _numeric(pb) else 0
+            entry[p] = {"before": pa, "after": pb, "shift": shift}
         hchanged[name] = entry
     report["histograms"] = {
         "added": hadded, "removed": hremoved, "changed": hchanged}

@@ -1,0 +1,216 @@
+"""Continuous profiler over request traces -- folded stacks on the
+virtual clock.
+
+``repro.obs.rtrace`` records one causal span tree per request.  This
+module turns a batch of those trees into a *profile*: every span's
+**exclusive** virtual time (its duration minus its children's) is
+attributed to a hierarchical frame stack
+
+    server -> worker[i] -> rung[mode] -> action -> kernel
+
+and aggregated across requests.  Because exclusive time partitions
+each request's end-to-end duration exactly (children are sequential by
+construction -- see ``SpanNode.exclusive_ns``), the sum of all frame
+values equals the sum of all request durations: the profile never
+invents or loses a nanosecond.
+
+Exports:
+
+* ``folded_stacks(events)`` -- ``{"a;b;c": exclusive_ns}`` frame map
+* ``to_folded_text(stacks)`` -- flamegraph.pl-compatible ``.folded``
+  text, lexicographically sorted, byte-identical for same-seed runs
+* ``chrome_flame(stacks)`` -- a Chrome-trace flamegraph layout of the
+  aggregate profile (one ``X`` slice per frame, children packed
+  left-to-right), mergeable into the serve timeline
+* ``validate_folded(text)`` -- schema check for CI
+
+Everything runs on recorded virtual timestamps; the profiler itself
+never touches the clock, so enabling it cannot change replay results.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.obs.rtrace import SpanNode, span_trees
+
+#: Root frame every stack hangs under.
+ROOT_FRAME = "server"
+
+
+def _frames_for(node: SpanNode) -> List[str]:
+    """Map one span to the frame(s) it contributes to the stack.
+
+    ``attempt`` spans expand to two frames (the worker identity and
+    the ladder rung) so the flamegraph groups time by worker first and
+    by rung second; the synthetic ``worker[i]`` frame accrues no
+    exclusive time of its own, which keeps the sum invariant intact.
+    ``cpu`` degradations become the terminal ``rung[cpu]``.
+    """
+    name = node.name
+    if name == "request":
+        return []  # the root folds into the server frame
+    if name == "attempt":
+        worker = node.args.get("worker", "?")
+        mode = node.args.get("mode", "?")
+        return [f"worker[{worker}]", f"rung[{mode}]"]
+    if name == "cpu":
+        return ["rung[cpu]"]
+    return [name]
+
+
+def _accumulate(node: SpanNode, path: Tuple[str, ...],
+                stacks: Dict[str, int]) -> None:
+    frames = path + tuple(_frames_for(node))
+    key = ";".join(frames)
+    # Virtual timestamps are integral nanoseconds, but JSON round-trips
+    # (and histogram-derived args) can surface them as floats; coerce
+    # so the .folded export stays integer-valued and byte-stable.
+    stacks[key] = stacks.get(key, 0) + int(node.exclusive_ns)
+    for child in node.children:
+        _accumulate(child, frames, stacks)
+
+
+def folded_stacks(events: List[dict]) -> Dict[str, int]:
+    """Aggregate exclusive virtual time per frame stack.
+
+    ``events`` is an rtrace.v1 event list (as written by
+    ``grr serve --trace-out``).  Returns ``{stack: exclusive_ns}``
+    where ``stack`` joins frames with ``;`` in flamegraph convention.
+    """
+    stacks: Dict[str, int] = {}
+    trees = span_trees(events)
+    for rid in sorted(trees):
+        _accumulate(trees[rid], (ROOT_FRAME,), stacks)
+    return stacks
+
+
+def total_ns(stacks: Dict[str, int]) -> int:
+    """Sum of all frame values == sum of request durations."""
+    return sum(stacks.values())
+
+
+def request_total_ns(events: List[dict]) -> int:
+    """Sum of root-span durations -- the profile's conservation target."""
+    return sum(int(tree.duration_ns)
+               for tree in span_trees(events).values())
+
+
+def to_folded_text(stacks: Dict[str, int]) -> str:
+    """Render ``stacks`` as flamegraph.pl folded text.
+
+    One ``frame;frame;frame value`` line per stack, sorted
+    lexicographically -- the byte-identical export format the
+    determinism tests pin.
+    """
+    lines = [f"{stack} {value}" for stack, value in
+             sorted(stacks.items())]
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def parse_folded(text: str) -> Dict[str, int]:
+    """Inverse of :func:`to_folded_text` (used by tests and grr)."""
+    stacks: Dict[str, int] = {}
+    for line in text.splitlines():
+        line = line.strip()
+        if not line:
+            continue
+        stack, _, value = line.rpartition(" ")
+        stacks[stack] = stacks.get(stack, 0) + int(value)
+    return stacks
+
+
+def validate_folded(text: str) -> List[str]:
+    """Schema-check folded text; returns a list of problems (CI gate)."""
+    problems: List[str] = []
+    if not text:
+        return ["empty profile"]
+    if not text.endswith("\n"):
+        problems.append("missing trailing newline")
+    seen = []
+    for number, line in enumerate(text.splitlines(), start=1):
+        stack, sep, value = line.rpartition(" ")
+        if not sep or not stack:
+            problems.append(f"line {number}: not 'stack value'")
+            continue
+        if not value.isdigit():
+            problems.append(f"line {number}: value {value!r} is not a "
+                            f"non-negative integer")
+        if not stack.startswith(ROOT_FRAME):
+            problems.append(f"line {number}: stack does not start at "
+                            f"{ROOT_FRAME!r}")
+        seen.append(stack)
+    if seen != sorted(seen):
+        problems.append("stacks are not lexicographically sorted")
+    if len(set(seen)) != len(seen):
+        problems.append("duplicate stacks")
+    return problems
+
+
+# -- Chrome flamegraph layout -----------------------------------------
+
+class _Frame:
+    __slots__ = ("self_ns", "children")
+
+    def __init__(self) -> None:
+        self.self_ns = 0
+        self.children: Dict[str, _Frame] = {}
+
+    def total_ns(self) -> int:
+        return self.self_ns + sum(child.total_ns() for child in
+                                  self.children.values())
+
+
+def _build_tree(stacks: Dict[str, int]) -> _Frame:
+    root = _Frame()
+    for stack, value in stacks.items():
+        node = root
+        for frame in stack.split(";"):
+            node = node.children.setdefault(frame, _Frame())
+        node.self_ns += value
+    return root
+
+
+def _emit(name: str, node: _Frame, offset_ns: int, depth: int,
+          pid: int, tid: int, out: List[dict]) -> None:
+    out.append({
+        "name": name, "ph": "X", "pid": pid, "tid": tid,
+        "ts": offset_ns / 1000.0, "dur": node.total_ns() / 1000.0,
+        "cat": "flame", "args": {"exclusive_ns": node.self_ns,
+                                 "depth": depth},
+    })
+    cursor = offset_ns
+    for child_name in sorted(node.children):
+        child = node.children[child_name]
+        _emit(child_name, child, cursor, depth + 1, pid, tid, out)
+        cursor += child.total_ns()
+
+
+def chrome_flame(stacks: Dict[str, int], pid: int = 99,
+                 tid: int = 0) -> List[dict]:
+    """Lay the aggregate profile out as Chrome trace ``X`` slices.
+
+    Children pack left-to-right in sorted order inside their parent,
+    so the result renders as a flamegraph in Perfetto / chrome://
+    tracing.  Returns the event list; append it to an existing
+    ``traceEvents`` array to merge with the serve timeline.
+    """
+    tree = _build_tree(stacks)
+    out: List[dict] = [{
+        "name": "process_name", "ph": "M", "pid": pid, "tid": tid,
+        "args": {"name": "profile (aggregate flame)"},
+    }]
+    cursor = 0
+    for name in sorted(tree.children):
+        node = tree.children[name]
+        _emit(name, node, cursor, 0, pid, tid, out)
+        cursor += node.total_ns()
+    return out
+
+
+def chrome_trace(stacks: Dict[str, int]) -> dict:
+    """A standalone Chrome trace document for the aggregate profile."""
+    return {"traceEvents": chrome_flame(stacks),
+            "displayTimeUnit": "ns",
+            "otherData": {"generator": "repro.obs.prof",
+                          "total_ns": total_ns(stacks)}}

@@ -43,10 +43,12 @@ from repro.bench.workloads import (board_for_family, fresh_replay_machine,
 from repro.core.recording import Recording
 from repro.core.replayer import Replayer
 from repro.errors import ReplayError, ReproError
+from repro.gpu.counters import aggregate as aggregate_counters
 from repro.gpu.faults import FaultInjector
 from repro.obs.metrics import LATENCY_BUCKETS_NS
 from repro.obs.rtrace import NULL_RTRACE, RequestTracer, SCHEMA
 from repro.obs.session import Observability
+from repro.obs.timeseries import TimeSeriesCollector
 from repro.serve.loadgen import ServeRequest
 from repro.soc.clock import VirtualClock
 from repro.units import MS, SEC
@@ -99,6 +101,18 @@ class ServerConfig:
     #: any batch the batch dimension cannot represent fall back to the
     #: per-request path automatically.
     mega_batch: bool = False
+    #: Periodic virtual-clock scrapes of the server metrics registry
+    #: into ring-buffered time series (repro.obs.timeseries). The
+    #: collector only *reads* the registry and the clock, so
+    #: virtual-time results are identical either way; off saves the
+    #: per-scrape Python cost.
+    timeseries: bool = True
+    #: Virtual time between time-series scrapes.
+    scrape_interval_ns: int = 2 * MS
+    #: Emulated GPU performance-counter tapes on the worker machines
+    #: (repro.gpu.counters). Always-on by default, like the flight
+    #: recorder; the overhead benchmark's "off" arm disables them.
+    gpu_counters: bool = True
 
     @classmethod
     def from_counts(cls, workers: int, families: Tuple[str, ...],
@@ -376,6 +390,18 @@ class ServeReport:
     #: part of :meth:`summary` -- the determinism tests compare
     #: summaries, the trace-completeness tests compare these.
     trace_events: List[dict] = field(default_factory=list, repr=False)
+    #: Fleet-aggregate GPU counter tape (gpucounters.v1): the merged
+    #: snapshot of every worker machine's tape. Like ``trace_events``,
+    #: NOT part of :meth:`summary` -- tape contents legitimately
+    #: differ with ``gpu_counters`` on/off while replay results and
+    #: summaries stay identical.
+    gpu_counters: Dict[str, object] = field(default_factory=dict,
+                                            repr=False)
+    #: The run's TimeSeriesCollector (None with ``timeseries`` off);
+    #: exporters (``to_jsonl``/``to_openmetrics``) hang off it. Also
+    #: excluded from :meth:`summary`.
+    timeseries: Optional[TimeSeriesCollector] = field(default=None,
+                                                      repr=False)
 
     def counts(self) -> Dict[str, int]:
         out = {"ok": 0, "degraded": 0, "shed": 0}
@@ -445,6 +471,11 @@ class Worker:
         self.busy = False
         self.warm_digest: Optional[str] = None
         self.dispatches = 0
+        #: How the last stage() resolved: "warm" (session kept, no
+        #: load) or "cold" (a load ran). Worker-local state only, so
+        #: the serve.cache.* counters built from it are identical
+        #: across loose/vault stores and repeated in-process runs.
+        self.last_stage = "cold"
 
     def stage(self, recording: Recording) -> None:
         """Stage ``recording``; scrub the session first when switching
@@ -452,9 +483,11 @@ class Worker:
         digest = recording.digest()
         if self.warm_digest == digest \
                 and self.replayer.current is not None:
+            self.last_stage = "warm"
             return
         if self.replayer.current is not None:
             self.replayer.reset_session()
+        self.last_stage = "cold"
         self.replayer.load(recording)
         self.warm_digest = digest
 
@@ -504,6 +537,20 @@ class ReplayServer:
         #: the clock -- virtual-time results are identical either way.
         self.rtrace = (RequestTracer(self.clock) if self.config.trace
                        else NULL_RTRACE)
+        if not self.config.gpu_counters:
+            for worker in self.workers:
+                tape = worker.machine.require_gpu().counters
+                tape.enabled = False
+                # Drop anything counted during machine bring-up so a
+                # counters-off report aggregates to all-zero totals.
+                tape.reset()
+        #: Ring-buffered time series over the server registry. Like
+        #: ``obs`` and ``rtrace`` it only reads clock + registry.
+        self.timeseries = (
+            TimeSeriesCollector(self.obs.metrics,
+                                interval_ns=self.config.scrape_interval_ns,
+                                derive=self._derive_series)
+            if self.config.timeseries else None)
         self._pending: List[ServeRequest] = []
         self._responses: Dict[int, ServeResponse] = {}
         #: Per-request scheduling state: escalation mode and the
@@ -546,6 +593,27 @@ class ReplayServer:
         self.rtrace.meta("prefetch", args={"warmed": warmed,
                                            "fetches": fetches})
 
+    def _derive_series(self, snapshot: Dict[str, Dict[str, object]]
+                       ) -> Dict[str, float]:
+        """Ratio gauges that only make sense as a time series (the
+        ``grr dash`` sparklines): computed at scrape time from the
+        registry snapshot, never stored in the registry itself."""
+        counters = snapshot["counters"]
+        derived: Dict[str, float] = {}
+        warm = counters.get("serve.cache.warm", 0)
+        cold = counters.get("serve.cache.cold", 0)
+        if warm + cold:
+            derived["serve.cache.hit_ratio"] = warm / (warm + cold)
+        submitted = counters.get("serve.requests.submitted", 0)
+        if submitted:
+            derived["serve.shed.rate"] = \
+                counters.get("serve.requests.shed", 0) / submitted
+        mega_batches = counters.get("serve.mega.batches", 0)
+        if mega_batches:
+            derived["serve.mega.fanout"] = \
+                counters.get("serve.mega.requests", 0) / mega_batches
+        return derived
+
     # -- public API ---------------------------------------------------------
 
     def serve(self, requests: List[ServeRequest]) -> ServeReport:
@@ -564,8 +632,17 @@ class ReplayServer:
         for request in ordered:
             self.clock.schedule(request.arrival_ns,
                                 lambda r=request: self._on_arrival(r))
-        while self.clock.advance_to_next_event():
-            pass
+        collector = self.timeseries
+        if collector is None:
+            while self.clock.advance_to_next_event():
+                pass
+        else:
+            # Scrapes piggyback on the event loop: a virtual clock has
+            # no timers of its own, and a self-rescheduling scrape
+            # event would keep the drain loop alive forever. Samples
+            # still land on exact interval boundaries.
+            while self.clock.advance_to_next_event():
+                collector.maybe_scrape(self.clock.now())
         # Defensive: the ladder guarantees every request terminates,
         # but a lost request must surface as shed, never silently.
         for request in list(self._pending):
@@ -580,6 +657,11 @@ class ReplayServer:
         self.obs.gauge("serve.queue.depth").set(len(self._pending))
         lost = sorted(r.rid for r in ordered
                       if r.rid not in self._responses)
+        if self.timeseries is not None:
+            # Close out the series with the end-of-run registry state
+            # (the throughput/makespan gauges set just above).
+            self.timeseries.maybe_scrape(makespan)
+            self.timeseries.scrape(makespan)
         return ServeReport(
             submitted=len(ordered),
             responses=[self._responses[rid]
@@ -587,7 +669,11 @@ class ReplayServer:
             snapshot=self.obs.snapshot(),
             makespan_ns=makespan,
             lost=lost,
-            trace_events=list(self.rtrace.events))
+            trace_events=list(self.rtrace.events),
+            gpu_counters=aggregate_counters(
+                [w.machine.require_gpu().counters.snapshot()
+                 for w in self.workers]),
+            timeseries=self.timeseries)
 
     def close(self) -> None:
         for worker in self.workers:
@@ -754,6 +840,8 @@ class ReplayServer:
 
         machine = worker.machine
         t0 = machine.clock.now()
+        gpu_tape = machine.require_gpu().counters
+        trace_tape = self.config.trace and gpu_tape.enabled
         results: List[Tuple[ServeRequest, Optional[Dict[str, np.ndarray]],
                             int, int]] = []
 
@@ -773,6 +861,7 @@ class ReplayServer:
         staged = True
         try:
             worker.stage(recording)
+            self.obs.counter(f"serve.cache.{worker.last_stage}").inc()
             load_span(head_rid, attempt_sid[head_rid], 0)
         except ReproError:
             staged = False
@@ -804,6 +893,8 @@ class ReplayServer:
                 try:
                     worker.stage(recording)
                     staged = True
+                    self.obs.counter(
+                        f"serve.cache.{worker.last_stage}").inc()
                     load_span(rid, asid, restage_off)
                 except ReproError:
                     load_span(rid, asid, restage_off, failed=True)
@@ -817,13 +908,19 @@ class ReplayServer:
             attempts = (self.config.worker_attempts
                         if mode == "fast" else 1)
             replay_off = off()
+            tape_before = gpu_tape.totals() if trace_tape else None
             try:
                 result = worker.replayer.replay(
                     inputs=request_inputs(recording, request.input_seed),
                     max_attempts=attempts)
                 done_off = off()
+                kernels = (list(gpu_tape.session_kernels)
+                           if trace_tape else [])
                 self._trace_replay(rid, asid, dispatch_ns, replay_off,
-                                   done_off, mode, result)
+                                   done_off, mode, result, kernels)
+                if tape_before is not None:
+                    self._mark_counters(rid, asid, tape_before,
+                                        gpu_tape)
                 rt.end(rid, asid, t_ns=dispatch_ns + done_off,
                        args={"outcome": "ok"})
                 results.append((request, result.outputs, result.attempts,
@@ -875,6 +972,9 @@ class ReplayServer:
         worker.replayer.fast_path = True
         inputs_list = [request_inputs(recording, request.input_seed)
                        for request in batch]
+        gpu_tape = worker.machine.require_gpu().counters
+        trace_tape = self.config.trace and gpu_tape.enabled
+        tape_before = gpu_tape.totals() if trace_tape else None
         try:
             mega = worker.replayer.replay_mega(inputs_list)
         except ReplayError as error:
@@ -890,6 +990,8 @@ class ReplayServer:
         self.obs.histogram("serve.mega.size",
                            BATCH_BUCKETS).observe(n)
         shim = SimpleNamespace(stats=mega.stats, attempts=1)
+        kernels = (list(gpu_tape.session_kernels)
+                   if trace_tape else [])
         for slot, request in enumerate(batch):
             rid = request.rid
             asid = attempt_sid[rid]
@@ -898,7 +1000,14 @@ class ReplayServer:
                                     t_ns=dispatch_ns)
                 rt.end(rid, wait_sid, t_ns=dispatch_ns + fuse_off)
             self._trace_replay(rid, asid, dispatch_ns, fuse_off,
-                               done_off, "fast", shim)
+                               done_off, "fast", shim, kernels)
+            if slot == 0 and tape_before is not None:
+                # The fused pass ran once for the whole batch, so its
+                # counter delta is attributed to the head member only
+                # (double-counting it per member would inflate fleet
+                # aggregates by the fan-out).
+                self._mark_counters(rid, asid, tape_before, gpu_tape,
+                                    extra={"batch": n})
             rt.mark(rid, "mega.fused", psid=asid,
                     args={"batch": n, "slot": slot,
                           "superblocks": mega.superblocks})
@@ -909,7 +1018,7 @@ class ReplayServer:
 
     def _trace_replay(self, rid: int, asid: int, dispatch_ns: int,
                       start_off: int, end_off: int, mode: str,
-                      result) -> None:
+                      result, kernels=()) -> None:
         """One ``replay`` span with its cost decomposition.
 
         ``upload``/``exec``/``pacing`` children carry the exact
@@ -918,6 +1027,12 @@ class ReplayServer:
         the totals, not the interleaving). The replay span's exclusive
         remainder is driver dispatch overhead plus any §5.4 retry
         backoff.
+
+        ``kernels`` is the counter tape's ``(label, flops)`` list for
+        the replay; when present, the ``exec`` span's duration is
+        apportioned across ``kernel:<label>`` child spans by FLOPs
+        share (integer truncation, remainder to the last kernel), so
+        the profiler can attribute GPU time to individual kernels.
         """
         rt = self.rtrace
         stats = result.stats
@@ -931,9 +1046,50 @@ class ReplayServer:
                                ("pacing", stats.pacing_wait_ns)):
             if duration > 0:
                 sid = rt.begin(rid, name, psid=replay_sid, t_ns=cursor)
+                if name == "exec" and kernels:
+                    self._trace_kernels(rid, sid, cursor, duration,
+                                        kernels)
                 cursor += duration
                 rt.end(rid, sid, t_ns=cursor)
         rt.end(rid, replay_sid, t_ns=dispatch_ns + end_off)
+
+    def _trace_kernels(self, rid: int, exec_sid: int, start_ns: int,
+                       duration: int, kernels) -> None:
+        """Lay per-kernel child spans under one ``exec`` span."""
+        rt = self.rtrace
+        total_flops = sum(flops for _, flops in kernels)
+        if total_flops <= 0:
+            return
+        cursor = start_ns
+        spent = 0
+        for index, (label, flops) in enumerate(kernels):
+            if index == len(kernels) - 1:
+                share = duration - spent
+            else:
+                # flops is a float, so guard the span timestamps back
+                # to integral nanoseconds explicitly.
+                share = int(duration * flops / total_flops)
+            if share <= 0:
+                continue
+            sid = rt.begin(rid, f"kernel:{label}", psid=exec_sid,
+                           t_ns=cursor)
+            cursor += share
+            spent += share
+            rt.end(rid, sid, t_ns=cursor)
+
+    def _mark_counters(self, rid: int, asid: int, before, tape,
+                       extra=None) -> None:
+        """Emit a ``gpu.counters`` mark carrying the tape delta for one
+        replay (field-wise difference of :meth:`CounterTape.totals`)."""
+        after = tape.totals()
+        delta = {key: after[key] - before.get(key, 0)
+                 for key in after
+                 if after[key] - before.get(key, 0)}
+        if not delta:
+            return
+        if extra:
+            delta = {**extra, **delta}
+        self.rtrace.mark(rid, "gpu.counters", psid=asid, args=delta)
 
     def _inject(self, worker: Worker, request: ServeRequest,
                 attempt_sid: int) -> None:

@@ -48,6 +48,18 @@ Subcommands::
                                           alerts over the event log
     grr stats --diff <a.json> <b.json>    structured comparison of two
                                           saved metrics snapshots
+    grr profile <events.jsonl> [-o prof.folded] [--chrome flame.json]
+                                          fold a serve trace into a
+                                          flamegraph.pl-compatible
+                                          profile (exclusive virtual
+                                          time per frame stack)
+    grr counters <file> [--json]          replay + print the emulated
+                                          GPU performance-counter tape
+                                          (instructions, FLOPs, bytes,
+                                          TLB hits/misses, MMIO writes)
+    grr dash <timeseries.jsonl> [--series NAME,...]
+                                          terminal sparkline dashboard
+                                          over a serve time-series log
     grr doctor <file> [--vs-reference]    diagnose a failing replay:
                                           localize the first diverging
                                           chokepoint, emit a
@@ -329,8 +341,13 @@ def _print_snapshot_diff(diff) -> None:
         section = diff[kind]
         for name in sorted(section["changed"]):
             change = section["changed"][name]
-            print(f"  {name:<36} {change['before']} -> {change['after']} "
-                  f"(delta {change['delta']:+g})")
+            # "delta" is absent when either side is non-numeric (a
+            # hand-edited or cross-version snapshot); JSON-loaded
+            # deltas may be floats, so never format with :+d.
+            delta = f" (delta {change['delta']:+g})" \
+                if "delta" in change else ""
+            print(f"  {name:<36} {change['before']} -> "
+                  f"{change['after']}{delta}")
         for name in sorted(section["added"]):
             print(f"  {name:<36} (new) {section['added'][name]}")
         for name in sorted(section["removed"]):
@@ -339,12 +356,17 @@ def _print_snapshot_diff(diff) -> None:
     hists = diff["histograms"]
     for name in sorted(hists["changed"]):
         change = hists["changed"][name]
+        if "count_delta" not in change:
+            # Degraded entry: one side was not a histogram dict.
+            print(f"  {name:<36} {change.get('before')} -> "
+                  f"{change.get('after')}")
+            continue
         shifts = "".join(
             f" {q} {change[q]['before']:.0f}->{change[q]['after']:.0f}"
             for q in ("p50", "p95", "p99") if q in change)
-        print(f"  {name:<36} count {change['count_delta']:+d} "
+        print(f"  {name:<36} count {change['count_delta']:+g} "
               f"sum {change['sum_delta']:+g} "
-              f"overflow {change['overflow_delta']:+d}{shifts}")
+              f"overflow {change['overflow_delta']:+g}{shifts}")
     for name in sorted(hists["added"]):
         print(f"  {name:<36} (new histogram)")
     for name in sorted(hists["removed"]):
@@ -546,11 +568,18 @@ def cmd_bench(args) -> int:
     """Run a benchmark suite; optionally guard a pin."""
     import json as json_mod
 
-    from repro.bench.experiments import (measure_fastpath, measure_serve,
-                                         measure_store, replay_fastpath,
+    from repro.bench.experiments import (measure_fastpath, measure_obs,
+                                         measure_serve, measure_store,
+                                         obs_overhead, replay_fastpath,
                                          serve_throughput, store_report)
 
-    if args.suite == "serve":
+    if args.suite == "obs":
+        def measure():
+            return measure_obs()
+        guarded = ("obs_speed_ratio",)
+        def render():
+            return obs_overhead().render()
+    elif args.suite == "serve":
         def measure():
             return measure_serve(mega=args.mega)
         guarded = ("throughput_ratio", "plain_throughput_ratio")
@@ -651,7 +680,9 @@ def cmd_serve(args) -> int:
     server = ReplayServer(store, ServerConfig(
         families=worker_families, seed=args.seed,
         queue_depth=args.queue_depth, max_batch=args.max_batch,
-        mega_batch=args.mega, trace=tracing))
+        mega_batch=args.mega, trace=tracing,
+        timeseries=not args.no_timeseries,
+        gpu_counters=not args.no_counters))
     # Stamp the load shape into the event log so a saved trace is
     # self-describing (no-op when tracing is off).
     server.rtrace.meta("loadgen", args=load_cfg.to_dict())
@@ -659,15 +690,17 @@ def cmd_serve(args) -> int:
     server.close()
 
     aux = sys.stderr if args.json else sys.stdout
-    if args.trace_out or args.trace_chrome:
+    if args.trace_out or args.trace_chrome or args.profile_out:
         import json as json_mod
 
+        from repro.obs.prof import chrome_flame, folded_stacks, \
+            to_folded_text
         from repro.obs.rtrace import (events_to_chrome, events_to_jsonl,
                                       validate_events)
 
         if not tracing:
-            print("error: --trace-out/--trace-chrome require tracing "
-                  "(drop --no-trace)", file=sys.stderr)
+            print("error: --trace-out/--trace-chrome/--profile-out "
+                  "require tracing (drop --no-trace)", file=sys.stderr)
             return 2
         events = report.trace_events
         problems = validate_events(
@@ -681,11 +714,40 @@ def cmd_serve(args) -> int:
             print(f"wrote {args.trace_out} ({len(events)} events, "
                   f"{len(report.responses)} request traces)", file=aux)
         if args.trace_chrome:
+            trace_doc = events_to_chrome(events)
+            # The continuous profile rides the same timeline document
+            # as a flamegraph track (one slice per frame stack).
+            trace_doc["traceEvents"].extend(
+                chrome_flame(folded_stacks(events)))
             with open(args.trace_chrome, "w") as handle:
-                json_mod.dump(events_to_chrome(events), handle,
+                json_mod.dump(trace_doc, handle,
                               indent=1, sort_keys=True)
             print(f"wrote {args.trace_chrome} (load in Perfetto / "
                   f"chrome://tracing)", file=aux)
+        if args.profile_out:
+            stacks = folded_stacks(events)
+            with open(args.profile_out, "w") as handle:
+                handle.write(to_folded_text(stacks))
+            print(f"wrote {args.profile_out} ({len(stacks)} frame "
+                  f"stacks; render with flamegraph.pl or `grr "
+                  f"profile`)", file=aux)
+    if args.timeseries_out or args.openmetrics:
+        if report.timeseries is None:
+            print("error: --timeseries-out/--openmetrics require the "
+                  "time-series collector (drop --no-timeseries)",
+                  file=sys.stderr)
+            return 2
+        if args.timeseries_out:
+            with open(args.timeseries_out, "w") as handle:
+                handle.write(report.timeseries.to_jsonl())
+            print(f"wrote {args.timeseries_out} "
+                  f"({len(report.timeseries.series)} series; feed to "
+                  f"`grr dash`)", file=aux)
+        if args.openmetrics:
+            with open(args.openmetrics, "w") as handle:
+                handle.write(report.timeseries.to_openmetrics())
+            print(f"wrote {args.openmetrics} (OpenMetrics text "
+                  f"exposition)", file=aux)
 
     counts = report.counts()
     counters = report.snapshot["counters"]
@@ -717,6 +779,14 @@ def cmd_serve(args) -> int:
               f"p99 {fmt_ns(int(percentiles['p99']))}")
         print(f"  throughput {report.throughput_rps():.1f} requests/s "
               f"(virtual)")
+        totals = report.gpu_counters.get("totals", {})
+        if totals.get("kernels"):
+            print(f"  gpu counters: {totals.get('kernels', 0):.0f} "
+                  f"kernels, {totals.get('instructions', 0):.0f} "
+                  f"instructions, {totals.get('flops', 0):.3g} flops, "
+                  f"{totals.get('mmio_writes', 0):.0f} mmio writes, "
+                  f"tlb {totals.get('tlb_hits', 0):.0f}/"
+                  f"{totals.get('tlb_misses', 0):.0f} hit/miss")
     if report.lost:
         print(f"error: {len(report.lost)} requests lost: "
               f"{report.lost[:10]}", file=sys.stderr)
@@ -858,6 +928,178 @@ def cmd_slo(args) -> int:
         missed = ", ".join(r.spec.name for r in results if not r.met)
         print(f"error: SLO(s) missed: {missed}", file=sys.stderr)
         return 1
+    return 0
+
+
+def cmd_profile(args) -> int:
+    """Fold a serve trace into a flamegraph-ready profile.
+
+    The invariant checked here is the one the profiler is built on:
+    every frame's *exclusive* virtual time sums back to the end-to-end
+    virtual time of the traced requests. A violation means the span
+    trees are malformed (exit 1), not a rendering nit.
+    """
+    from repro.obs.prof import (chrome_flame, folded_stacks,
+                                request_total_ns, to_folded_text,
+                                total_ns, validate_folded)
+
+    events = _read_events(args.file)
+    if events is None:
+        return 2
+    stacks = folded_stacks(events)
+    if not stacks:
+        print("error: no complete request spans in log",
+              file=sys.stderr)
+        return 1
+    text = to_folded_text(stacks)
+    problems = validate_folded(text)
+    profiled = total_ns(stacks)
+    end_to_end = request_total_ns(events)
+    if profiled != end_to_end:
+        problems.append(
+            f"exclusive time sums to {profiled} ns but requests span "
+            f"{end_to_end} ns end to end")
+    if problems:
+        print(f"INVALID profile ({len(problems)} problems):",
+              file=sys.stderr)
+        for problem in problems[:10]:
+            print(f"  {problem}", file=sys.stderr)
+        return 1
+    if args.out:
+        with open(args.out, "w") as handle:
+            handle.write(text)
+        print(f"wrote {args.out} ({len(stacks)} frame stacks, "
+              f"{fmt_ns(profiled)} exclusive virtual time; render "
+              f"with flamegraph.pl)")
+    if args.chrome:
+        import json as json_mod
+
+        with open(args.chrome, "w") as handle:
+            json_mod.dump({"traceEvents": chrome_flame(stacks),
+                           "displayTimeUnit": "ms"}, handle,
+                          indent=1, sort_keys=True)
+        print(f"wrote {args.chrome} (flamegraph layout; load in "
+              f"Perfetto / chrome://tracing)")
+    if not args.out and not args.chrome:
+        limit = args.limit or len(stacks)
+        width = max(len(stack) for stack in stacks)
+        for stack, ns in sorted(stacks.items(),
+                                key=lambda kv: (-kv[1], kv[0]))[:limit]:
+            share = ns / profiled if profiled else 0.0
+            print(f"{stack:<{min(width, 72)}} {fmt_ns(ns):>12} "
+                  f"{share:6.1%}")
+        if len(stacks) > limit:
+            print(f"... {len(stacks) - limit} more frame stacks "
+                  f"(raise --limit, or -o for the full .folded)")
+    return 0
+
+
+def cmd_counters(args) -> int:
+    """Replay a recording and print the GPU performance-counter tape."""
+    import json as json_mod
+
+    recording = _load(args.file)
+    board = _resolve_board(args, recording)
+    if board is None:
+        return 2
+    machine, replayer, result = _fresh_replay(recording, board,
+                                              args.seed)
+    replayer.cleanup()
+    snapshot = machine.gpu.counters.snapshot()
+    if args.json:
+        print(json_mod.dumps(snapshot, indent=1, sort_keys=True))
+        return 0
+    totals = snapshot["totals"]
+    print(f"gpu counters after replaying {recording.meta.workload} "
+          f"on {machine.gpu.model_name} "
+          f"({fmt_ns(result.duration_ns)} virtual, "
+          f"attempt {result.attempts}):")
+    for field in ("replays", "kernels", "instructions", "flops",
+                  "bytes_touched", "mmio_writes", "tlb_hits",
+                  "tlb_misses", "upload_skipped_bytes", "mega_fanout"):
+        value = totals.get(field, 0)
+        rendered = f"{value:.4g}" if isinstance(value, float) \
+            else str(value)
+        print(f"  {field:<22} {rendered}")
+    print(f"  per-kernel rows ({sum(1 for r in snapshot['rows'] if r['kernel'] >= 0)}):")
+    for row in snapshot["rows"]:
+        if row["kernel"] < 0:
+            continue
+        print(f"    j{row['job']:<3} k{row['kernel']:<3} "
+              f"{row['name']:<16} instr {row['instructions']:<8} "
+              f"flops {row['flops']:<12.4g} "
+              f"bytes {row['bytes_touched']:<10} "
+              f"tlb {row['tlb_hits']}/{row['tlb_misses']}")
+    if snapshot["dropped_rows"]:
+        print(f"  ({snapshot['dropped_rows']} rows dropped at the "
+              f"{len(snapshot['rows'])}-row cap)")
+    return 0
+
+
+#: Eight-level unicode sparkline ramp (lowest to highest).
+_SPARKS = "▁▂▃▄▅▆▇█"
+
+#: Series `grr dash` shows when --series is not given (curves the
+#: serving engine derives or that move request by request).
+_DASH_DEFAULT = ("serve.queue.depth", "serve.requests.submitted",
+                 "serve.shed.rate", "serve.cache.hit_ratio",
+                 "serve.mega.fanout", "serve.latency_ns.p95")
+
+
+def _sparkline(values, width: int) -> str:
+    if len(values) > width:
+        # Downsample by striding from the tail: the recent end of the
+        # curve is the interesting part of a dashboard.
+        stride = len(values) / width
+        values = [values[int(i * stride)] for i in range(width)]
+    lo = min(values)
+    hi = max(values)
+    span = hi - lo
+    if span <= 0:
+        return _SPARKS[0] * len(values)
+    return "".join(
+        _SPARKS[min(len(_SPARKS) - 1,
+                    int((v - lo) / span * len(_SPARKS)))]
+        for v in values)
+
+
+def cmd_dash(args) -> int:
+    """Terminal sparkline dashboard over a time-series JSONL log."""
+    from repro.obs.timeseries import parse_jsonl
+
+    try:
+        with open(args.file) as handle:
+            series = parse_jsonl(handle.read())
+    except (ValueError, KeyError, TypeError) as error:
+        print(f"error: {args.file} is not a time-series JSONL log: "
+              f"{error}", file=sys.stderr)
+        return 2
+    if not series:
+        print("(no samples in log)")
+        return 0
+    if args.series:
+        wanted = [s.strip() for s in args.series.split(",") if s.strip()]
+        missing = [name for name in wanted if name not in series]
+        if missing:
+            print(f"error: series not in log: {', '.join(missing)}; "
+                  f"available: {', '.join(sorted(series))}",
+                  file=sys.stderr)
+            return 2
+        names = wanted
+    else:
+        names = [name for name in _DASH_DEFAULT if name in series]
+        if not names:
+            names = sorted(series)[:8]
+    t_lo = min(t for rows in series.values() for t, _ in rows)
+    t_hi = max(t for rows in series.values() for t, _ in rows)
+    print(f"{args.file}: {len(series)} series, "
+          f"{sum(len(r) for r in series.values())} samples over "
+          f"{fmt_ns(t_hi - t_lo)} virtual")
+    for name in names:
+        values = [value for _, value in series[name]]
+        lo, hi, last = min(values), max(values), values[-1]
+        print(f"  {name:<26} {_sparkline(values, args.width)}  "
+              f"min {lo:g}  max {hi:g}  last {last:g}")
     return 0
 
 
@@ -1017,7 +1259,7 @@ def build_parser() -> argparse.ArgumentParser:
         "bench", help="benchmark suites: replay fast path (load cache, "
         "compiled dispatch, resident dumps) or serving throughput")
     bench.add_argument("--suite",
-                       choices=("fastpath", "serve", "store"),
+                       choices=("fastpath", "serve", "store", "obs"),
                        default="fastpath")
     bench.add_argument("--family", default="mali")
     bench.add_argument("--model", default="dense-serve")
@@ -1076,8 +1318,67 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--trace-chrome", default=None,
                        metavar="TRACE_JSON",
                        help="write a Perfetto-loadable Chrome trace "
-                       "of all request timelines")
+                       "of all request timelines (with the folded "
+                       "profile merged in as a flamegraph track)")
+    serve.add_argument("--profile-out", default=None,
+                       metavar="PROF_FOLDED",
+                       help="write the continuous profile as "
+                       "flamegraph.pl-compatible folded stacks "
+                       "(exclusive virtual time per frame stack)")
+    serve.add_argument("--timeseries-out", default=None,
+                       metavar="TS_JSONL",
+                       help="write the time-series samples as JSONL "
+                       "(feed to `grr dash`)")
+    serve.add_argument("--openmetrics", default=None,
+                       metavar="METRICS_TXT",
+                       help="write the time-series samples as "
+                       "OpenMetrics text exposition")
+    serve.add_argument("--no-timeseries", action="store_true",
+                       help="disable the periodic metrics scraper")
+    serve.add_argument("--no-counters", action="store_true",
+                       help="disable the GPU performance-counter tape")
     serve.set_defaults(func=cmd_serve)
+
+    profile = sub.add_parser(
+        "profile", help="fold a serve trace event log into a "
+        "flamegraph-ready profile of exclusive virtual time")
+    profile.add_argument("file", help="event log from `grr serve "
+                         "--trace-out`")
+    profile.add_argument("-o", "--out", default=None,
+                         metavar="PROF_FOLDED",
+                         help="write flamegraph.pl-compatible folded "
+                         "stacks instead of printing a table")
+    profile.add_argument("--chrome", default=None, metavar="FLAME_JSON",
+                         help="also write a Perfetto-loadable "
+                         "flamegraph layout")
+    profile.add_argument("--limit", type=int, default=20,
+                         help="table rows to print when not writing "
+                         "a file (default 20)")
+    profile.set_defaults(func=cmd_profile)
+
+    counters = sub.add_parser(
+        "counters", help="replay a recording and print the emulated "
+        "GPU performance-counter tape")
+    counters.add_argument("file")
+    counters.add_argument("--board", default=None,
+                          help="defaults to the recording's board")
+    counters.add_argument("--seed", type=int, default=2026)
+    counters.add_argument("--json", action="store_true",
+                          help="machine-readable gpucounters.v1 "
+                          "snapshot")
+    counters.set_defaults(func=cmd_counters)
+
+    dash = sub.add_parser(
+        "dash", help="terminal sparkline dashboard over a serve "
+        "time-series JSONL log")
+    dash.add_argument("file", help="JSONL from `grr serve "
+                      "--timeseries-out`")
+    dash.add_argument("--series", default=None,
+                      help="comma list of series names (default: the "
+                      "interesting serving curves present in the log)")
+    dash.add_argument("--width", type=int, default=60,
+                      help="sparkline width in cells (default 60)")
+    dash.set_defaults(func=cmd_dash)
 
     top = sub.add_parser(
         "top", help="post-hoc dashboard over a serve trace event log: "

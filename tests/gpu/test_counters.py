@@ -1,0 +1,202 @@
+"""The emulated GPU performance-counter tape."""
+
+from repro.gpu import isa
+from repro.gpu.counters import (MAX_ROWS, NULL_TAPE, CounterTape,
+                                aggregate, kernel_label)
+
+
+def _ref(shape=(4, 4)):
+    return isa.TensorRef(va=0x1000, shape=shape)
+
+
+def _instr(op=isa.Op.ADD, shape=(4, 4)):
+    return isa.Instruction(op, (_ref(shape), _ref(shape), _ref(shape)))
+
+
+def _program(*instrs):
+    return isa.Program(instructions=list(instrs))
+
+
+class TestKernelLabel:
+    def test_single_op(self):
+        assert kernel_label(_program(_instr(isa.Op.RELU))) == "relu"
+
+    def test_dominant_op_with_trailer_count(self):
+        heavy = isa.Instruction(
+            isa.Op.MATMUL,
+            (_ref((16, 16)), _ref((16, 16)), _ref((16, 16))))
+        label = kernel_label(
+            _program(_instr(isa.Op.COPY), heavy, _instr(isa.Op.RELU)))
+        assert label == "matmul+2"
+
+    def test_empty_program(self):
+        assert kernel_label(_program()) == "empty"
+
+
+class TestCounterTape:
+    def test_records_per_kernel_rows(self):
+        tape = CounterTape()
+        tape.begin_session("a" * 64)
+        tape.begin_job()
+        program = _program(_instr(isa.Op.ADD))
+        tape.record_kernel(program, instructions=1,
+                           tlb_hits=3, tlb_misses=2)
+        row = tape.rows[("a" * 12, 0, 0)]
+        assert row.instructions == 1
+        assert row.tlb_hits == 3
+        assert row.tlb_misses == 2
+        assert row.flops == isa.flops_estimate(program.instructions[0])
+        assert row.bytes_touched == \
+            isa.bytes_touched(program.instructions[0])
+        assert tape.session_kernels == [("add", row.flops)]
+
+    def test_session_row_absorbs_driver_costs(self):
+        tape = CounterTape()
+        tape.begin_session("b" * 64)
+        tape.note_mmio_write()
+        tape.note_upload_skipped(4096)
+        session = tape.rows[("b" * 12, -1, -1)]
+        assert session.mmio_writes == 1
+        assert session.upload_skipped_bytes == 4096
+        assert session.replays == 1
+
+    def test_fanout_scales_modeled_costs_not_instructions(self):
+        tape = CounterTape()
+        tape.begin_session("c" * 64)
+        tape.begin_job()
+        program = _program(_instr(isa.Op.ADD))
+        base_flops = isa.flops_estimate(program.instructions[0])
+        tape.record_kernel(program, instructions=1, tlb_hits=0,
+                           tlb_misses=0, fanout=8)
+        row = tape.rows[("c" * 12, 0, 0)]
+        assert row.flops == base_flops * 8
+        assert row.mega_fanout == 8
+        assert row.instructions == 1
+
+    def test_totals_match_row_sums(self):
+        tape = CounterTape()
+        for digest in ("d" * 64, "e" * 64):
+            tape.begin_session(digest)
+            tape.begin_job()
+            tape.record_kernel(_program(_instr()), instructions=1,
+                               tlb_hits=1, tlb_misses=1)
+            tape.note_mmio_write()
+        totals = tape.totals()
+        rows = tape.rows.values()
+        assert totals["instructions"] == \
+            sum(r.instructions for r in rows)
+        assert totals["flops"] == sum(r.flops for r in rows)
+        assert totals["mmio_writes"] == \
+            sum(r.mmio_writes for r in rows)
+        assert totals["replays"] == 2
+        assert totals["kernels"] == 2
+
+    def test_disabled_tape_records_nothing(self):
+        tape = CounterTape(enabled=False)
+        tape.begin_session("f" * 64)
+        tape.begin_job()
+        tape.record_kernel(_program(_instr()), instructions=1,
+                           tlb_hits=1, tlb_misses=1)
+        # Only the default session placeholder row may exist, and
+        # nothing accumulates.
+        assert all(key[1] < 0 for key in tape.rows)
+        assert tape.totals()["instructions"] == 0
+        assert tape.totals()["replays"] == 0
+
+    def test_null_tape_is_disabled(self):
+        assert NULL_TAPE.enabled is False
+
+    def test_row_cap_counts_drops_but_keeps_totals(self):
+        tape = CounterTape()
+        program = _program(_instr())
+        tape.begin_session("0" * 64)
+        for _ in range(MAX_ROWS + 10):
+            tape.begin_job()
+            tape.record_kernel(program, instructions=1, tlb_hits=0,
+                               tlb_misses=0)
+        assert len(tape.rows) <= MAX_ROWS
+        assert tape.dropped_rows > 0
+        assert tape.totals()["instructions"] == MAX_ROWS + 10
+
+    def test_snapshot_schema_and_determinism(self):
+        tape = CounterTape()
+        tape.begin_session("9" * 64)
+        tape.begin_job()
+        tape.record_kernel(_program(_instr()), instructions=1,
+                           tlb_hits=0, tlb_misses=1)
+        snap = tape.snapshot()
+        assert snap["schema"] == "gpucounters.v1"
+        assert snap["enabled"] is True
+        assert snap["rows"] == tape.snapshot()["rows"]
+        import json
+        json.dumps(snap)  # JSON-serializable end to end
+
+    def test_reset_preserves_enabled_flag(self):
+        tape = CounterTape(enabled=False)
+        tape.reset()
+        assert tape.enabled is False
+        on = CounterTape()
+        on.begin_session("1" * 64)
+        on.reset()
+        assert on.enabled is True
+        assert on.totals()["replays"] == 0
+
+
+class TestAggregate:
+    def test_merges_rows_field_wise(self):
+        a = CounterTape()
+        a.begin_session("a" * 64)
+        a.begin_job()
+        a.record_kernel(_program(_instr()), instructions=1,
+                        tlb_hits=2, tlb_misses=0)
+        b = CounterTape()
+        b.begin_session("a" * 64)
+        b.begin_job()
+        b.record_kernel(_program(_instr()), instructions=3,
+                        tlb_hits=0, tlb_misses=1)
+        merged = aggregate([a.snapshot(), None, b.snapshot()])
+        assert merged["totals"]["instructions"] == 4
+        kernel_rows = [r for r in merged["rows"] if r["kernel"] >= 0]
+        assert len(kernel_rows) == 1
+        assert kernel_rows[0]["instructions"] == 4
+        assert kernel_rows[0]["tlb_hits"] == 2
+        assert kernel_rows[0]["tlb_misses"] == 1
+
+    def test_empty_input(self):
+        merged = aggregate([])
+        assert merged["rows"] == []
+        assert merged["enabled"] is False
+
+
+def _replayed_tape(seed=1000):
+    from repro.bench.workloads import (fresh_replay_machine,
+                                       get_recorded, model_input)
+    from repro.core.replayer import Replayer
+
+    recorded, _ = get_recorded("mali", "mnist")
+    machine = fresh_replay_machine("mali", seed=seed)
+    replayer = Replayer(machine)
+    replayer.init()
+    replayer.load(recorded.recording)
+    inputs = {io.name: model_input("mnist")
+              for io in recorded.recording.meta.inputs
+              if not io.optional}
+    replayer.replay(inputs=inputs)
+    replayer.cleanup()
+    return machine.gpu.counters
+
+
+class TestDeviceIntegration:
+    def test_replay_fills_the_tape(self):
+        tape = _replayed_tape()
+        totals = tape.totals()
+        assert totals["replays"] >= 1
+        assert totals["kernels"] > 0
+        assert totals["instructions"] > 0
+        assert totals["flops"] > 0
+        assert totals["mmio_writes"] > 0
+        assert any(key[1] >= 0 for key in tape.rows)
+
+    def test_same_seed_replays_produce_identical_tapes(self):
+        assert _replayed_tape().snapshot() == \
+            _replayed_tape().snapshot()

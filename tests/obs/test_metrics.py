@@ -227,3 +227,59 @@ class TestSnapshotDiff:
             assert diff[kind]["added"] == {}
             assert diff[kind]["removed"] == {}
             assert diff[kind]["changed"] == {}
+
+
+class TestSnapshotDiffHardening:
+    """snapshot_diff must survive hand-edited and cross-version
+    snapshots: missing sections, non-numeric values, non-dict
+    histogram entries all degrade instead of raising."""
+
+    def test_missing_and_none_sections(self):
+        diff = snapshot_diff({}, {"counters": {"x": 1}})
+        assert diff["counters"]["added"] == {"x": 1}
+        diff = snapshot_diff({"counters": None, "histograms": None},
+                             {"gauges": {"g": 2.0}})
+        assert diff["gauges"]["added"] == {"g": 2.0}
+        assert diff["histograms"]["changed"] == {}
+
+    def test_non_numeric_values_degrade_without_delta(self):
+        diff = snapshot_diff({"counters": {"x": "five"}},
+                             {"counters": {"x": 8}})
+        change = diff["counters"]["changed"]["x"]
+        assert change == {"before": "five", "after": 8}
+        assert "delta" not in change
+
+    def test_bool_values_do_not_get_arithmetic_deltas(self):
+        diff = snapshot_diff({"gauges": {"flag": False}},
+                             {"gauges": {"flag": True}})
+        assert "delta" not in diff["gauges"]["changed"]["flag"]
+
+    def test_non_dict_histogram_entry_degrades(self):
+        diff = snapshot_diff({"histograms": {"h": "corrupt"}},
+                             {"histograms": {"h": {"count": 1,
+                                                   "sum": 2}}})
+        change = diff["histograms"]["changed"]["h"]
+        assert change["before"] == "corrupt"
+        assert "count_delta" not in change
+
+    def test_histogram_missing_fields_count_as_zero(self):
+        diff = snapshot_diff(
+            {"histograms": {"h": {"count": 1}}},
+            {"histograms": {"h": {"count": 4, "sum": "bad"}}})
+        change = diff["histograms"]["changed"]["h"]
+        assert change["count_delta"] == 3
+        assert change["sum_delta"] == 0      # non-numeric degrades
+        assert change["overflow_delta"] == 0  # absent on both sides
+
+    def test_float_deltas_are_preserved(self):
+        diff = snapshot_diff({"gauges": {"g": 1.25}},
+                             {"gauges": {"g": 2.75}})
+        assert diff["gauges"]["changed"]["g"]["delta"] == 1.5
+
+    def test_diff_is_json_serializable(self):
+        import json
+
+        diff = snapshot_diff(
+            {"counters": {"x": "five"}, "histograms": {"h": None}},
+            {"counters": {"x": 8}, "histograms": {"h": {"count": 1}}})
+        json.dumps(diff)

@@ -1,0 +1,135 @@
+"""The continuous profiler: folded stacks over request traces."""
+
+from repro.obs.prof import (ROOT_FRAME, chrome_flame, chrome_trace,
+                            folded_stacks, parse_folded,
+                            request_total_ns, to_folded_text, total_ns,
+                            validate_folded)
+from repro.obs.rtrace import RequestTracer
+
+
+class _Clock:
+    def now(self):
+        return 0
+
+
+def _tracer():
+    return RequestTracer(_Clock())
+
+
+def _one_request(rt, rid=0, base=0):
+    """request(100ns) > attempt(80ns, worker 2, fast) > replay(60ns)
+    with an exec child (40ns) carrying one kernel span (40ns)."""
+    rt.submit(rid, t_ns=base)
+    queue = rt.begin(rid, "queue", t_ns=base)
+    rt.end(rid, queue, t_ns=base + 10)
+    attempt = rt.begin(rid, "attempt", t_ns=base + 10,
+                       args={"worker": 2, "mode": "fast"})
+    replay = rt.begin(rid, "replay", psid=attempt, t_ns=base + 20)
+    exec_sid = rt.begin(rid, "exec", psid=replay, t_ns=base + 30)
+    kernel = rt.begin(rid, "kernel:conv2d", psid=exec_sid,
+                      t_ns=base + 30)
+    rt.end(rid, kernel, t_ns=base + 70)
+    rt.end(rid, exec_sid, t_ns=base + 70)
+    rt.end(rid, replay, t_ns=base + 80)
+    rt.end(rid, attempt, t_ns=base + 90)
+    rt.finish(rid, "ok", t_ns=base + 100)
+
+
+class TestFoldedStacks:
+    def test_frame_hierarchy(self):
+        rt = _tracer()
+        _one_request(rt)
+        stacks = folded_stacks(rt.events)
+        assert set(stacks) == {
+            "server",
+            "server;queue",
+            "server;worker[2];rung[fast]",
+            "server;worker[2];rung[fast];replay",
+            "server;worker[2];rung[fast];replay;exec",
+            "server;worker[2];rung[fast];replay;exec;kernel:conv2d",
+        }
+
+    def test_exclusive_times_sum_to_end_to_end(self):
+        rt = _tracer()
+        _one_request(rt, rid=0, base=0)
+        _one_request(rt, rid=1, base=1000)
+        stacks = folded_stacks(rt.events)
+        assert total_ns(stacks) == request_total_ns(rt.events) == 200
+
+    def test_exclusive_attribution(self):
+        rt = _tracer()
+        _one_request(rt)
+        stacks = folded_stacks(rt.events)
+        # request 100 - queue 10 - attempt 80 = 10 exclusive at root
+        assert stacks["server"] == 10
+        assert stacks["server;queue"] == 10
+        # attempt 80 - replay 60 = 20 exclusive at the rung
+        assert stacks["server;worker[2];rung[fast]"] == 20
+        assert stacks[
+            "server;worker[2];rung[fast];replay;exec;kernel:conv2d"
+        ] == 40
+
+    def test_aggregates_across_requests(self):
+        rt = _tracer()
+        _one_request(rt, rid=0, base=0)
+        _one_request(rt, rid=1, base=500)
+        stacks = folded_stacks(rt.events)
+        assert stacks["server;queue"] == 20
+
+
+class TestFoldedText:
+    def test_round_trip_and_schema(self):
+        rt = _tracer()
+        _one_request(rt)
+        stacks = folded_stacks(rt.events)
+        text = to_folded_text(stacks)
+        assert validate_folded(text) == []
+        assert parse_folded(text) == stacks
+        assert text.endswith("\n")
+
+    def test_byte_identical_for_identical_traces(self):
+        texts = []
+        for _ in range(2):
+            rt = _tracer()
+            _one_request(rt, rid=0)
+            _one_request(rt, rid=1, base=300)
+            texts.append(to_folded_text(folded_stacks(rt.events)))
+        assert texts[0] == texts[1]
+
+    def test_validate_catches_malformations(self):
+        assert validate_folded("") == ["empty profile"]
+        assert any("not a non-negative integer" in p
+                   for p in validate_folded("server;a 1.5\n"))
+        assert any("does not start" in p
+                   for p in validate_folded("other;a 1\n"))
+        assert any("sorted" in p
+                   for p in validate_folded("server;b 1\nserver;a 1\n"))
+        assert any("newline" in p
+                   for p in validate_folded("server;a 1"))
+
+
+class TestChromeFlame:
+    def test_children_pack_inside_parents(self):
+        rt = _tracer()
+        _one_request(rt)
+        events = chrome_flame(folded_stacks(rt.events))
+        slices = {e["name"]: e for e in events if e["ph"] == "X"}
+        server = slices["server"]
+        assert server["dur"] == 100 / 1000.0
+        for name, entry in slices.items():
+            if name == "server":
+                continue
+            assert entry["ts"] >= server["ts"]
+            assert entry["ts"] + entry["dur"] <= \
+                server["ts"] + server["dur"] + 1e-9
+
+    def test_standalone_trace_doc(self):
+        rt = _tracer()
+        _one_request(rt)
+        stacks = folded_stacks(rt.events)
+        doc = chrome_trace(stacks)
+        assert doc["otherData"]["total_ns"] == total_ns(stacks)
+        assert any(e["ph"] == "M" for e in doc["traceEvents"])
+
+    def test_root_frame_constant(self):
+        assert ROOT_FRAME == "server"

@@ -327,3 +327,51 @@ class TestStatsDiff:
     def test_stats_without_file_or_diff_is_usage_error(self, capsys):
         assert main(["stats"]) == 2
         assert "recording file" in capsys.readouterr().err
+
+
+class TestStatsDiffDegraded:
+    def test_renders_float_and_missing_deltas(self, tmp_path, capsys):
+        import json
+
+        a = tmp_path / "a.json"
+        b = tmp_path / "b.json"
+        a.write_text(json.dumps({
+            "counters": {"x": "five"}, "gauges": {"g": 1.25},
+            "histograms": {"h": "corrupt"}}))
+        b.write_text(json.dumps({
+            "counters": {"x": 8}, "gauges": {"g": 2.75},
+            "histograms": {"h": {"count": 1, "sum": 2,
+                                 "overflow_count": 0}}}))
+        assert main(["stats", "--diff", str(a), str(b)]) == 0
+        out = capsys.readouterr().out
+        # Non-numeric counter: rendered without a delta suffix.
+        assert "five -> 8" in out
+        assert "five -> 8 (delta" not in out
+        # Float gauge delta renders via %+g, not %+d.
+        assert "(delta +1.5)" in out
+        # Degraded histogram entry falls back to before -> after.
+        assert "corrupt ->" in out
+
+    def test_profile_and_dash_roundtrip(self, tmp_path, capsys):
+        """grr serve --profile-out/--timeseries-out feed grr
+        profile / grr dash without loss."""
+        import json
+
+        from repro.obs.prof import validate_folded
+
+        profile = tmp_path / "prof.folded"
+        events = tmp_path / "events.jsonl"
+        series = tmp_path / "ts.jsonl"
+        assert main(["serve", "--requests", "8", "--seed", "7",
+                     "--families", "mali", "--models", "mnist",
+                     "--trace-out", str(events),
+                     "--profile-out", str(profile),
+                     "--timeseries-out", str(series), "--json"]) == 0
+        capsys.readouterr()
+        assert validate_folded(profile.read_text()) == []
+        assert main(["profile", str(events)]) == 0
+        out = capsys.readouterr().out
+        assert "server" in out
+        assert main(["dash", str(series)]) == 0
+        out = capsys.readouterr().out
+        assert "serve.queue.depth" in out
