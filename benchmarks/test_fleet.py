@@ -1,0 +1,77 @@
+"""Distributed fleet serving: acceptance benchmarks.
+
+Three claims (ISSUE 9 acceptance bar included):
+
+- a 3-node fleet clears at least 2x single-node throughput on the
+  Zipf-skewed scenario (virtual makespan ratio; the measured ratio is
+  well above that, and the exact value is pinned);
+- the fleet-vs-single differential contract holds at benchmark scale:
+  500 faulted requests answered byte-identically, nothing lost or
+  double-answered (``differential_ok`` pinned at 1.0 -- the 20%
+  guard tolerance means anything but 1.0 fails);
+- the numbers are pinned in ``BENCH_fleet.json`` and exactly
+  reproducible -- every arm runs on the deterministic virtual-time
+  event loop. CI re-runs the measurement via ``grr bench --suite
+  fleet --check`` and fails on a >20% regression against the pin.
+"""
+
+import json
+import pathlib
+
+import pytest
+
+from repro.bench.experiments import fleet_scaling, measure_fleet
+
+PIN_FILE = pathlib.Path(__file__).resolve().parent.parent / \
+    "BENCH_fleet.json"
+
+
+@pytest.fixture(scope="module")
+def measured():
+    return measure_fleet()
+
+
+def test_three_nodes_at_least_2x_single_node(measured):
+    assert measured["nodes"] == 3
+    assert measured["scaling_ratio"] >= 2.0, (
+        f"fleet {measured['fleet_rps']:.0f} rps vs single "
+        f"{measured['single_rps']:.0f} rps (virtual)")
+
+
+def test_differential_holds_at_bench_scale(measured):
+    assert measured["differential_requests"] >= 500
+    assert measured["differential_ok"] == 1.0
+    assert measured["differential_lost"] == 0
+    assert measured["differential_duplicates"] == 0
+
+
+def test_autoscaler_engaged_under_load(measured):
+    assert measured["autoscale_up"] > 0
+    # Peak capacity exceeded the boot capacity (nodes x families).
+    assert measured["workers_peak"] > measured["nodes"] * 2
+
+
+def test_pinned_ratios_within_tolerance(measured):
+    """The same guard CI runs via ``grr bench --suite fleet --check``."""
+    pinned = json.loads(PIN_FILE.read_text())
+    for metric in ("scaling_ratio", "differential_ok"):
+        floor = pinned[metric] * 0.8
+        assert measured[metric] >= floor, (
+            f"{metric} regressed: {measured[metric]:.2f} < floor "
+            f"{floor:.2f} (pinned {pinned[metric]:.2f})")
+
+
+def test_virtual_time_numbers_are_exact(measured):
+    """Virtual makespans and percentiles re-measure byte-identically
+    against the pin."""
+    pinned = json.loads(PIN_FILE.read_text())
+    for key in ("single_makespan_ns", "fleet_makespan_ns",
+                "fleet_p95_ns", "fleet_p99_ns"):
+        assert measured[key] == pinned[key], key
+
+
+def test_fleet_table_renders(experiment):
+    table = experiment(fleet_scaling)
+    metrics = {row["metric"]: row["value"] for row in table.rows}
+    assert metrics["scaling_ratio"] >= 2.0
+    assert metrics["differential_ok"] == 1.0

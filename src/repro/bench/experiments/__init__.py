@@ -19,6 +19,8 @@ from repro.bench.experiments.fig11 import recording_granularity
 from repro.bench.experiments.tab04 import codebase_comparison
 from repro.bench.experiments.tab05 import cve_elimination
 from repro.bench.experiments.tab06 import recording_stats
+from repro.bench.experiments.fleet_bench import (fleet_scaling,
+                                                 measure_fleet)
 from repro.bench.experiments.obs_bench import measure_obs, obs_overhead
 from repro.bench.experiments.serve_bench import (measure_serve,
                                                  serve_throughput)
@@ -35,9 +37,11 @@ __all__ = [
     "cpu_memory",
     "cross_gpu_replay",
     "cve_elimination",
+    "fleet_scaling",
     "inference_delays",
     "interaction_intervals",
     "measure_fastpath",
+    "measure_fleet",
     "measure_obs",
     "measure_serve",
     "measure_store",

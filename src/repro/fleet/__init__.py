@@ -1,0 +1,34 @@
+"""repro.fleet: a multi-node replay-serving cluster simulated on one
+deterministic virtual clock.
+
+Layers (bottom-up):
+
+- :mod:`repro.fleet.router` -- digest-affinity routing with
+  power-of-two-choices fallback and an auditable decision log.
+- :mod:`repro.fleet.autoscale` -- per-node, per-family worker pools
+  scaled from queue depth, with provisioning delay.
+- :mod:`repro.fleet.admission` -- per-tenant quotas and priority
+  classes above the node failure ladder.
+- :mod:`repro.fleet.replication` -- node-local vault misses fetch
+  from peer vaults (integrity-checked) before the CPU-degrade rung.
+- :mod:`repro.fleet.engine` -- the :class:`Fleet` itself: N
+  ``ReplayServer`` nodes sharing one clock and one request tracer.
+"""
+
+from repro.fleet.admission import AdmissionController
+from repro.fleet.autoscale import PoolAutoscaler
+from repro.fleet.engine import (Fleet, FleetConfig, FleetReport,
+                                content_key)
+from repro.fleet.replication import ReplicatedVaultStore
+from repro.fleet.router import DigestRouter
+
+__all__ = [
+    "AdmissionController",
+    "DigestRouter",
+    "Fleet",
+    "FleetConfig",
+    "FleetReport",
+    "PoolAutoscaler",
+    "ReplicatedVaultStore",
+    "content_key",
+]

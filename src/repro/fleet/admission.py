@@ -1,0 +1,58 @@
+"""Multi-tenant admission: per-tenant in-flight quotas and priority
+classes, applied at the router before a request ever reaches a node.
+
+Two rungs sit above the PR 4 node-level failure ladder:
+
+- **Quota**: a tenant with ``quota`` requests already in flight has
+  its next request shed (``tenant-quota``) -- one noisy tenant cannot
+  starve the fleet. Untenanted requests are never quota-shed.
+- **Priority pressure**: best-effort requests (priority 0) are shed
+  (``best-effort-pressure``) when every candidate node's queue is at
+  or above the best-effort limit; standard (1) and critical (2)
+  requests ride the normal ladder. Critical is distinguished from
+  standard only by *never* being pressure-shed here -- node-level
+  queue bounds still apply to everyone, so a critical flood degrades
+  like any other overload instead of bypassing admission entirely.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping, Optional
+
+from repro.obs.session import NULL_OBS
+
+
+class AdmissionController:
+    """Fleet-level admission state; one instance per fleet."""
+
+    def __init__(self, quotas: Optional[Mapping[str, int]] = None,
+                 obs=NULL_OBS):
+        #: tenant -> max in-flight requests (absent = unlimited).
+        self.quotas: Dict[str, int] = dict(quotas or {})
+        self.obs = obs
+        #: tenant -> requests admitted and not yet answered.
+        self.inflight: Dict[str, int] = {}
+
+    def reject_reason(self, request, min_pending: int,
+                      best_effort_limit: int) -> Optional[str]:
+        """Why this request must be shed at the router, or None.
+        ``min_pending`` is the least-loaded candidate node's queue
+        depth -- best-effort traffic is only shed when *no* node could
+        take it cheaply."""
+        if request.tenant:
+            cap = self.quotas.get(request.tenant)
+            if cap is not None \
+                    and self.inflight.get(request.tenant, 0) >= cap:
+                return "tenant-quota"
+        if request.priority <= 0 and min_pending >= best_effort_limit:
+            return "best-effort-pressure"
+        return None
+
+    def admit(self, request) -> None:
+        if request.tenant:
+            self.inflight[request.tenant] = \
+                self.inflight.get(request.tenant, 0) + 1
+
+    def release(self, tenant: str) -> None:
+        if tenant:
+            self.inflight[tenant] -= 1

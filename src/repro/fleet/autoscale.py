@@ -1,0 +1,114 @@
+"""Queue-depth autoscaling for one node's per-family worker pools.
+
+The scaler piggybacks on the fleet's event-drain loop exactly like the
+time-series collector does (:mod:`repro.obs.timeseries`): the fleet
+calls :meth:`PoolAutoscaler.maybe_scale` after every event, and the
+scaler acts at most once per ``interval_ns`` of virtual time. A
+self-rescheduling clock event would keep the drain loop alive forever;
+piggybacking keeps evaluation deterministic (the event sequence is
+deterministic, so the evaluation points are too) and terminates with
+the workload.
+
+Scale-up is provisioned, not instant: a new worker joins the pool
+``scale_up_ns`` after the decision -- booting a replay machine is not
+free, and modeling the delay is what makes the scaling curves in
+``BENCH_fleet.json`` honest. Scale-down only retires idle workers
+(in-flight batches always complete) and never drops below
+``min_workers`` per family.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from repro.obs.session import NULL_OBS
+from repro.units import MS
+
+
+class PoolAutoscaler:
+    """Grows and shrinks one :class:`ReplayServer`'s pools from its
+    queue depth."""
+
+    def __init__(self, node_id: int, server, families: Sequence[str],
+                 clock, *, min_workers: int = 1, max_workers: int = 3,
+                 interval_ns: int = 2 * MS, scale_up_ns: int = 5 * MS,
+                 backlog_per_worker: int = 2, obs=NULL_OBS):
+        self.node_id = node_id
+        self.server = server
+        self.families = list(families)
+        self.clock = clock
+        self.min_workers = min_workers
+        self.max_workers = max_workers
+        self.interval_ns = interval_ns
+        self.scale_up_ns = scale_up_ns
+        #: Pending requests per (live + provisioning) worker above
+        #: which the pool grows.
+        self.backlog_per_worker = backlog_per_worker
+        self.obs = obs
+        self._next_ns = interval_ns
+        #: family -> workers decided on but not yet booted.
+        self._provisioning: Dict[str, int] = {f: 0 for f in families}
+        #: family -> largest pool size ever reached (incl. in-flight
+        #: provisioning) -- the bench's capacity signal.
+        self.peak: Dict[str, int] = {
+            f: len(server.workers_for(f)) for f in families}
+        #: Append-only scale event log (JSON-able dicts).
+        self.events: List[Dict[str, object]] = []
+
+    def maybe_scale(self, now: int) -> None:
+        """Evaluate at most once per interval; called by the fleet
+        after every drained event."""
+        if now < self._next_ns:
+            return
+        while self._next_ns <= now:
+            self._next_ns += self.interval_ns
+        self._evaluate(now)
+
+    def _evaluate(self, now: int) -> None:
+        for family in self.families:
+            live = len(self.server.workers_for(family))
+            total = live + self._provisioning[family]
+            pending = self.server.pending_count(family)
+            if pending > self.backlog_per_worker * total \
+                    and total < self.max_workers:
+                self._provisioning[family] += 1
+                self.peak[family] = max(self.peak[family], total + 1)
+                self.obs.counter("fleet.autoscale.up").inc()
+                self.events.append({
+                    "t_ns": now, "node": self.node_id,
+                    "family": family, "action": "up",
+                    "workers": total + 1, "pending": pending})
+                self.clock.schedule(
+                    self.scale_up_ns,
+                    lambda f=family: self._provisioned(f))
+            elif total > self.min_workers \
+                    and self._provisioning[family] == 0 \
+                    and self.server.outstanding_count(family) == 0:
+                # Outstanding (not merely pending) must be zero: a
+                # request in a backoff window re-enters the queue
+                # expecting workers it has not tried yet.
+                self._retire_one(family, now)
+
+    def _provisioned(self, family: str) -> None:
+        self._provisioning[family] -= 1
+        self.server.add_worker(family)
+
+    def _retire_one(self, family: str, now: int) -> bool:
+        live = self.server.workers_for(family)
+        idle = [w for w in live if not w.busy]
+        if not idle or not self.server.retire_worker(idle[-1]):
+            return False
+        self.obs.counter("fleet.autoscale.down").inc()
+        self.events.append({
+            "t_ns": now, "node": self.node_id, "family": family,
+            "action": "down", "workers": len(live) - 1, "pending": 0})
+        return True
+
+    def drain(self, now: int) -> None:
+        """End of run: every pool drains back to ``min_workers`` (the
+        idle-drain half of the autoscaler property tests)."""
+        for family in self.families:
+            while len(self.server.workers_for(family)) \
+                    > self.min_workers:
+                if not self._retire_one(family, now):
+                    break

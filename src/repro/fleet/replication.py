@@ -1,0 +1,87 @@
+"""Vault replication: a node-local store miss fetches from peers
+before the CPU-degrade rung.
+
+:class:`ReplicatedVaultStore` extends the serving engine's
+``VaultRecordingStore`` with a peer list (the other nodes' vaults, in
+deterministic fleet order). When the local ``_ensure`` fails -- index
+miss, missing object, or corrupt chunk -- the store walks its peers:
+``Vault.replicate_from`` streams the recording's objects through the
+full integrity check, so a corrupt *peer* chunk raises mid-fetch and
+the walk falls through to the next peer; replication also repairs
+locally-damaged objects in place. Only when every peer is exhausted
+does the key stay unavailable and the server take the PR 4
+CPU-degrade rung (or shed, if even the skeleton is gone).
+
+Every attempt lands in :attr:`replication_log` so the fault-injection
+tests can assert exactly which peer served, which were flagged
+corrupt, and that the integrity chain (not luck) did the flagging.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import StoreCorruptionError, StoreError
+from repro.obs.session import NULL_OBS
+from repro.serve.engine import VaultRecordingStore
+
+
+class ReplicatedVaultStore(VaultRecordingStore):
+    """A node's vault-backed store with fetch-from-peer fallback."""
+
+    def __init__(self, vault, mix: List[Tuple[str, str]],
+                 board: Optional[str] = None,
+                 peers: Sequence = (), obs=NULL_OBS):
+        super().__init__(vault, mix, board)
+        #: Peer vaults, tried in order on a local miss.
+        self.peers = list(peers)
+        self.obs = obs
+        #: Append-only replication attempt log (JSON-able dicts).
+        self.replication_log: List[Dict[str, object]] = []
+        self._exhausted: set = set()
+
+    def _ensure(self, family: str, model: str) -> bool:
+        if super()._ensure(family, model):
+            return True
+        key = (family, model)
+        if key in self._exhausted or not self.peers:
+            return False
+        for peer_id, peer in enumerate(self.peers):
+            digest = peer.best_for(family, board=self._board,
+                                   workload=model)
+            if digest is None:
+                continue
+            try:
+                self.vault.replicate_from(peer, digest)
+            except StoreCorruptionError as error:
+                # The peer's copy is damaged and the integrity chain
+                # caught it mid-fetch: log, count, try the next peer.
+                self.obs.counter(
+                    "fleet.replication.corrupt_chunks").inc()
+                self.replication_log.append({
+                    "family": family, "model": model, "peer": peer_id,
+                    "digest": digest[:12], "outcome": "corrupt-peer",
+                    "chunk": error.chunk_digest[:12]})
+                continue
+            except StoreError:
+                self.replication_log.append({
+                    "family": family, "model": model, "peer": peer_id,
+                    "digest": digest[:12], "outcome": "peer-error"})
+                continue
+            # Replication succeeded: clear the cached failure so the
+            # base-class fetch path retries against the healed vault.
+            self.corrupt.pop(key, None)
+            self._missing.discard(key)
+            if super()._ensure(family, model):
+                self.obs.counter(
+                    "fleet.replication.peer_fetches").inc()
+                self.replication_log.append({
+                    "family": family, "model": model, "peer": peer_id,
+                    "digest": digest[:12], "outcome": "replicated"})
+                return True
+        self._exhausted.add(key)
+        self.obs.counter("fleet.replication.exhausted").inc()
+        self.replication_log.append({
+            "family": family, "model": model, "peer": -1,
+            "digest": "", "outcome": "exhausted"})
+        return False

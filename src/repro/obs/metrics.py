@@ -204,6 +204,67 @@ class MetricsRegistry:
         self._metrics.clear()
 
 
+def namespace_snapshot(prefix: str,
+                       snapshot: Dict[str, Dict[str, object]]
+                       ) -> Dict[str, Dict[str, object]]:
+    """The same snapshot with every name prefixed ``prefix.name`` --
+    how a fleet report keeps per-node metrics apart (``node0.serve.*``)
+    without a label dimension the exporters don't have."""
+    return {kind: {f"{prefix}.{name}": value
+                   for name, value in (snapshot.get(kind) or {}).items()}
+            for kind in ("counters", "gauges", "histograms")}
+
+
+def merge_snapshots(snapshots: list) -> Dict[str, Dict[str, object]]:
+    """Aggregate registry snapshots (one per fleet node) into one.
+
+    Counters and gauges sum name-wise (the gauges that survive
+    aggregation meaningfully -- worker counts, queue depths -- are
+    additive; rate gauges should be recomputed fleet-side, not
+    merged). Histograms with identical boundaries merge bucket-wise
+    and re-derive their percentiles from the merged buckets, so the
+    fleet p99 is estimated from fleet-wide data, not averaged.
+    """
+    merged: Dict[str, Dict[str, object]] = {
+        "counters": {}, "gauges": {}, "histograms": {}}
+    for snapshot in snapshots:
+        for kind in ("counters", "gauges"):
+            for name, value in (snapshot.get(kind) or {}).items():
+                merged[kind][name] = merged[kind].get(name, 0) + value
+        for name, hist in (snapshot.get("histograms") or {}).items():
+            into = merged["histograms"].get(name)
+            if into is None:
+                merged["histograms"][name] = {
+                    "boundaries": list(hist["boundaries"]),
+                    "bucket_counts": list(hist["bucket_counts"]),
+                    "count": hist["count"],
+                    "sum": hist["sum"],
+                }
+                continue
+            if into["boundaries"] != list(hist["boundaries"]):
+                raise ObsError(
+                    f"histogram {name!r}: cannot merge differing "
+                    "boundaries")
+            into["bucket_counts"] = [
+                a + b for a, b in zip(into["bucket_counts"],
+                                      hist["bucket_counts"])]
+            into["count"] += hist["count"]
+            into["sum"] += hist["sum"]
+    for name, hist in merged["histograms"].items():
+        scratch = Histogram(name, hist["boundaries"])
+        scratch.bucket_counts = list(hist["bucket_counts"])
+        scratch.count = hist["count"]
+        scratch.sum = hist["sum"]
+        hist["overflow_count"] = scratch.overflow_count
+        hist["p50"] = scratch.percentile(50)
+        hist["p95"] = scratch.percentile(95)
+        hist["p99"] = scratch.percentile(99)
+    merged["counters"] = dict(sorted(merged["counters"].items()))
+    merged["gauges"] = dict(sorted(merged["gauges"].items()))
+    merged["histograms"] = dict(sorted(merged["histograms"].items()))
+    return merged
+
+
 def snapshot_diff(before: Dict[str, Dict[str, object]],
                   after: Dict[str, Dict[str, object]]
                   ) -> Dict[str, object]:

@@ -516,34 +516,43 @@ class ReplayServer:
     timeline."""
 
     def __init__(self, store: RecordingStore,
-                 config: Optional[ServerConfig] = None):
+                 config: Optional[ServerConfig] = None,
+                 clock: Optional[VirtualClock] = None,
+                 rtrace=None):
         self.store = store
         self.config = config or ServerConfig()
-        self.clock = VirtualClock()
+        #: A caller-owned clock turns this server into one *node* of a
+        #: larger simulation (repro.fleet): arrivals are injected with
+        #: :meth:`submit`, the owner drives the shared event loop, and
+        #: :meth:`finish` closes the books. With no clock given the
+        #: server owns its timeline and :meth:`serve` drives it.
+        self.clock = clock if clock is not None else VirtualClock()
+        self._external_clock = clock is not None
         self.obs = Observability(self.clock)
         boards = self.config.boards or tuple(
             board_for_family(f) for f in self.config.families)
         if len(boards) != len(self.config.families):
             raise ReproError("boards must parallel families")
-        self.workers = [
-            Worker(i, family, board,
-                   seed=self.config.seed * 1000 + i,
-                   flight_capacity=self.config.flight_capacity)
-            for i, (family, board) in enumerate(
-                zip(self.config.families, boards))]
+        self._next_wid = 0
+        self.workers = [self._new_worker(family, board)
+                        for family, board in
+                        zip(self.config.families, boards)]
         #: Request-scoped tracer: every admitted request gets one
         #: causal span tree on the server clock (a no-op when
         #: ``config.trace`` is off). Like ``obs``, it only *reads*
         #: the clock -- virtual-time results are identical either way.
-        self.rtrace = (RequestTracer(self.clock) if self.config.trace
-                       else NULL_RTRACE)
-        if not self.config.gpu_counters:
-            for worker in self.workers:
-                tape = worker.machine.require_gpu().counters
-                tape.enabled = False
-                # Drop anything counted during machine bring-up so a
-                # counters-off report aggregates to all-zero totals.
-                tape.reset()
+        #: A fleet passes one shared tracer so routing and node spans
+        #: land in a single per-request tree.
+        if rtrace is not None:
+            self.rtrace = rtrace if self.config.trace else NULL_RTRACE
+        else:
+            self.rtrace = (RequestTracer(self.clock)
+                           if self.config.trace else NULL_RTRACE)
+        #: Optional per-response hook: called with each terminal
+        #: :class:`ServeResponse` (answered or shed) the moment it is
+        #: recorded. The fleet layer uses it for routing bookkeeping
+        #: and fleet-wide latency accounting.
+        self.on_complete = None
         #: Ring-buffered time series over the server registry. Like
         #: ``obs`` and ``rtrace`` it only reads clock + registry.
         self.timeseries = (
@@ -552,6 +561,7 @@ class ReplayServer:
                                 derive=self._derive_series)
             if self.config.timeseries else None)
         self._pending: List[ServeRequest] = []
+        self._submitted: List[ServeRequest] = []
         self._responses: Dict[int, ServeResponse] = {}
         #: Per-request scheduling state: escalation mode and the
         #: workers already tried in that mode.
@@ -566,6 +576,76 @@ class ReplayServer:
         self.obs.gauge("serve.workers").set(len(self.workers))
         if self.config.prefetch:
             self._prefetch_workers()
+
+    # -- worker pool management ---------------------------------------------
+
+    def _new_worker(self, family: str,
+                    board: Optional[str] = None) -> Worker:
+        wid = self._next_wid
+        self._next_wid += 1
+        worker = Worker(wid, family, board or board_for_family(family),
+                        seed=self.config.seed * 1000 + wid,
+                        flight_capacity=self.config.flight_capacity)
+        if not self.config.gpu_counters:
+            tape = worker.machine.require_gpu().counters
+            tape.enabled = False
+            # Drop anything counted during machine bring-up so a
+            # counters-off report aggregates to all-zero totals.
+            tape.reset()
+        return worker
+
+    def add_worker(self, family: str,
+                   board: Optional[str] = None) -> Worker:
+        """Grow the pool by one worker (the fleet autoscaler's
+        scale-up rung). The new worker's seed is a deterministic
+        function of the config seed and its id, so two same-seed runs
+        that scale identically get identical machines. Dispatch runs
+        immediately: new capacity may unblock the queue."""
+        worker = self._new_worker(family, board)
+        self.workers.append(worker)
+        self.obs.gauge("serve.workers").set(len(self.workers))
+        self._dispatch()
+        return worker
+
+    def retire_worker(self, worker: Worker) -> bool:
+        """Shrink the pool (scale-down). Refuses to retire a busy
+        worker -- in-flight batches always complete."""
+        if worker.busy or worker not in self.workers:
+            return False
+        self.workers.remove(worker)
+        worker.close()
+        self.obs.gauge("serve.workers").set(len(self.workers))
+        return True
+
+    def pending_count(self, family: Optional[str] = None) -> int:
+        """Admitted-but-undispatched requests (the autoscaling and
+        routing signal)."""
+        if family is None:
+            return len(self._pending)
+        return sum(1 for r in self._pending if r.family == family)
+
+    def outstanding_count(self, family: Optional[str] = None) -> int:
+        """Submitted requests without a terminal answer: queued,
+        batched onto a worker, or riding a backoff window. The
+        autoscaler's scale-down guard -- a request in backoff has a
+        tried-worker set that assumes the pool it failed on, so
+        shrinking a pool with outstanding work could strand it with
+        no eligible worker and no wake-up event."""
+        return sum(1 for r in self._submitted
+                   if r.rid not in self._responses
+                   and (family is None or r.family == family))
+
+    def workers_for(self, family: str) -> List[Worker]:
+        return [w for w in self.workers if w.family == family]
+
+    def warm_digests(self) -> Dict[str, int]:
+        """digest -> worker count currently warm on it."""
+        warm: Dict[str, int] = {}
+        for worker in self.workers:
+            if worker.warm_digest is not None:
+                warm[worker.warm_digest] = \
+                    warm.get(worker.warm_digest, 0) + 1
+        return warm
 
     def _prefetch_workers(self) -> None:
         """Stream every recording a worker's family will serve from
@@ -621,8 +701,12 @@ class ReplayServer:
         if self._served:
             raise ReproError("ReplayServer.serve is one-shot; "
                              "build a new server")
+        if self._external_clock:
+            raise ReproError("this server rides a caller-owned clock; "
+                             "use submit()/finish()")
         self._served = True
         ordered = sorted(requests, key=lambda r: (r.arrival_ns, r.rid))
+        self._submitted = ordered
         self.rtrace.meta("run", args={
             "schema": SCHEMA, "requests": len(ordered),
             "families": list(self.config.families),
@@ -643,6 +727,28 @@ class ReplayServer:
             # still land on exact interval boundaries.
             while self.clock.advance_to_next_event():
                 collector.maybe_scrape(self.clock.now())
+        return self._finalize()
+
+    def submit(self, request: ServeRequest) -> None:
+        """Admit one request *now* (node mode: the caller owns the
+        clock and delivers arrivals as events on it). Pair with
+        :meth:`finish` once the caller's event loop has drained."""
+        if self._served:
+            raise ReproError("server already finished; build a new one")
+        self._submitted.append(request)
+        self._on_arrival(request)
+
+    def finish(self) -> ServeReport:
+        """Close the books in node mode: shed anything still pending,
+        set the end-of-run gauges and return this node's report. The
+        caller must have drained the shared event loop first."""
+        if self._served:
+            raise ReproError("finish() is one-shot")
+        self._served = True
+        return self._finalize()
+
+    def _finalize(self) -> ServeReport:
+        ordered = self._submitted
         # Defensive: the ladder guarantees every request terminates,
         # but a lost request must surface as shed, never silently.
         for request in list(self._pending):
@@ -1209,6 +1315,8 @@ class ReplayServer:
             fault=request.fault.kind if request.fault else "",
             shed_reason=degrade_reason,
             outputs=outputs)
+        if self.on_complete is not None:
+            self.on_complete(self._responses[request.rid])
 
     def _shed(self, request: ServeRequest, reason: str) -> None:
         self.obs.counter("serve.requests.shed").inc()
@@ -1228,3 +1336,5 @@ class ReplayServer:
             batch_size=0,
             fault=request.fault.kind if request.fault else "",
             shed_reason=reason)
+        if self.on_complete is not None:
+            self.on_complete(self._responses[request.rid])

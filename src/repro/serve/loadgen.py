@@ -23,6 +23,7 @@ the serving layer):
 
 from __future__ import annotations
 
+import math
 import random
 from dataclasses import dataclass
 from typing import List, Optional, Tuple
@@ -31,6 +32,12 @@ from repro.units import MS, SEC
 
 #: Every fault kind the load generator can schedule.
 FAULT_KINDS: Tuple[str, ...] = ("gpu-transient", "gpu-sticky", "poison")
+
+#: Arrival-shape names ``LoadgenConfig.shape`` accepts.
+ARRIVAL_SHAPES: Tuple[str, ...] = ("poisson", "diurnal", "spike")
+
+#: Popularity distributions over the mix.
+POPULARITIES: Tuple[str, ...] = ("uniform", "zipf")
 
 #: Deadline sentinel for "never sheds on time" requests.
 NO_DEADLINE_NS = 1 << 62
@@ -54,6 +61,12 @@ class ServeRequest:
     input_seed: int
     deadline_ns: int = NO_DEADLINE_NS
     fault: Optional[FaultSpec] = None
+    #: Multi-tenant admission identity; empty = untenanted (always
+    #: admitted, quota-wise).
+    tenant: str = ""
+    #: Priority class: 0 = best-effort (first to shed under
+    #: pressure), 1 = standard, 2 = critical.
+    priority: int = 1
 
 
 @dataclass(frozen=True)
@@ -74,6 +87,31 @@ class LoadgenConfig:
     #: Probability a request carries a fault.
     fault_rate: float = 0.0
     fault_kinds: Tuple[str, ...] = FAULT_KINDS
+    #: Arrival shape. ``poisson`` is the plain exponential process;
+    #: ``diurnal`` modulates the rate sinusoidally (one "day" per
+    #: ``diurnal_period_ns``, trough-to-peak swing set by
+    #: ``diurnal_amplitude``); ``spike`` multiplies the rate by
+    #: ``spike_factor`` for the first ``spike_duty`` fraction of every
+    #: ``spike_period_ns`` window. All shapes reuse the poisson
+    #: stream's draws -- the same seed yields the same per-request
+    #: randomness, only the spacing changes.
+    shape: str = "poisson"
+    diurnal_period_ns: int = 200 * MS
+    diurnal_amplitude: float = 0.8
+    spike_period_ns: int = 100 * MS
+    spike_duty: float = 0.1
+    spike_factor: float = 8.0
+    #: How requests pick from the mix: ``uniform`` (every pair equally
+    #: likely) or ``zipf`` (pair k with weight 1/(k+1)^zipf_s, in mix
+    #: order -- lead the mix with the content you want hot).
+    popularity: str = "uniform"
+    zipf_s: float = 1.1
+    #: Tenants requests are attributed to, uniformly; empty = the
+    #: untenanted single-tenant world (no extra RNG draws, so old
+    #: seeds keep their exact streams).
+    tenants: Tuple[str, ...] = ()
+    #: Priority classes drawn uniformly; empty = everyone standard.
+    priorities: Tuple[int, ...] = ()
 
     def to_dict(self) -> dict:
         """JSON-able form (stamped into trace-event-log metadata so a
@@ -86,25 +124,76 @@ class LoadgenConfig:
             "deadline_ns": self.deadline_ns,
             "fault_rate": self.fault_rate,
             "fault_kinds": list(self.fault_kinds),
+            "shape": self.shape,
+            "popularity": self.popularity,
+            "zipf_s": self.zipf_s,
+            "tenants": list(self.tenants),
+            "priorities": list(self.priorities),
         }
 
 
+def _rate_multiplier(config: LoadgenConfig, t_ns: int) -> float:
+    """Instantaneous arrival-rate multiplier at virtual time ``t_ns``
+    (1.0 for the plain poisson shape). A deterministic function of
+    time only -- shapes never consume extra RNG draws."""
+    if config.shape == "diurnal":
+        phase = 2.0 * math.pi * (t_ns % config.diurnal_period_ns) \
+            / config.diurnal_period_ns
+        return 1.0 + config.diurnal_amplitude * math.sin(phase)
+    if config.shape == "spike":
+        in_spike = (t_ns % config.spike_period_ns) \
+            < config.spike_duty * config.spike_period_ns
+        return config.spike_factor if in_spike else 1.0
+    return 1.0
+
+
+def _zipf_cdf(n: int, s: float) -> List[float]:
+    weights = [1.0 / (k + 1) ** s for k in range(n)]
+    total = sum(weights)
+    cdf: List[float] = []
+    acc = 0.0
+    for w in weights:
+        acc += w / total
+        cdf.append(acc)
+    return cdf
+
+
 def generate_requests(config: LoadgenConfig) -> List[ServeRequest]:
-    """The seeded request stream, sorted by arrival time."""
+    """The seeded request stream, sorted by arrival time.
+
+    Default knobs reproduce the PR 4 streams draw-for-draw; the shape
+    / popularity / tenant extensions only alter (or add) draws when
+    explicitly configured, so pinned seeds stay stable.
+    """
     rng = random.Random(config.seed)
+    zipf = (_zipf_cdf(len(config.mix), config.zipf_s)
+            if config.popularity == "zipf" else None)
     t_ns = 0
     requests: List[ServeRequest] = []
     for rid in range(config.requests):
         if config.mean_interarrival_ns > 0:
-            t_ns += int(rng.expovariate(1.0 / config.mean_interarrival_ns))
-        family, model = config.mix[rng.randrange(len(config.mix))]
+            gap = rng.expovariate(1.0 / config.mean_interarrival_ns)
+            multiplier = _rate_multiplier(config, t_ns)
+            t_ns += int(gap / multiplier) if multiplier != 1.0 \
+                else int(gap)
+        if zipf is not None:
+            draw = rng.random()
+            index = next(i for i, edge in enumerate(zipf)
+                         if draw <= edge)
+            family, model = config.mix[index]
+        else:
+            family, model = config.mix[rng.randrange(len(config.mix))]
         input_seed = rng.randrange(1 << 31)
         fault: Optional[FaultSpec] = None
         if config.fault_rate > 0 and rng.random() < config.fault_rate:
             fault = FaultSpec(rng.choice(config.fault_kinds))
+        tenant = rng.choice(config.tenants) if config.tenants else ""
+        priority = (rng.choice(config.priorities)
+                    if config.priorities else 1)
         deadline = (t_ns + config.deadline_ns if config.deadline_ns > 0
                     else NO_DEADLINE_NS)
         requests.append(ServeRequest(
             rid=rid, family=family, model=model, arrival_ns=t_ns,
-            input_seed=input_seed, deadline_ns=deadline, fault=fault))
+            input_seed=input_seed, deadline_ns=deadline, fault=fault,
+            tenant=tenant, priority=priority))
     return requests

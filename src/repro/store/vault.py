@@ -457,6 +457,73 @@ class Vault:
             payload = compressed
         return payload[:size].ljust(size, b"\x00")
 
+    # -- replication ---------------------------------------------------------
+
+    def replicate_from(self, peer: "Vault", digest: str) -> Manifest:
+        """Copy one recording's manifest + objects from ``peer``.
+
+        Every object streams through the same integrity check a local
+        fetch applies (decompress, re-hash against its address, size
+        against the manifest), so a corrupt peer chunk raises
+        :class:`StoreCorruptionError` *mid-fetch* -- before anything
+        damaged lands locally -- carrying the chunk and dump location
+        for the doctor handoff. Objects already present locally are
+        skipped (content addressing makes the copy idempotent and
+        dedup-aware). Returns the replicated manifest.
+        """
+        obs = self.obs
+        manifest = peer.load_manifest(digest)
+        with obs.span("store:replicate", obs.track("store", "vault"),
+                      cat="store", args={"digest": digest[:12],
+                                         "peer": peer.root}):
+            sizes = {manifest.skeleton_digest: manifest.skeleton_size}
+            contexts: Dict[str, dict] = {
+                manifest.skeleton_digest:
+                    {"recording_digest": digest}}
+            for dump_index, (va, _size, chunk_list) in \
+                    enumerate(manifest.dumps):
+                offset = 0
+                for chunk_digest, chunk_size in chunk_list:
+                    sizes.setdefault(chunk_digest, chunk_size)
+                    contexts.setdefault(chunk_digest, {
+                        "recording_digest": digest,
+                        "dump_index": dump_index, "dump_va": va,
+                        "dump_offset": offset})
+                    offset += chunk_size
+            copied = 0
+            copied_bytes = 0
+            healed = 0
+            for obj in manifest.objects():
+                local = self._object_path(obj)
+                if os.path.exists(local):
+                    try:
+                        self._get_object(obj, sizes[obj],
+                                         context=contexts[obj])
+                        continue
+                    except StoreError:
+                        # Local copy is damaged: replace it from the
+                        # peer (replication doubles as repair).
+                        os.remove(local)
+                        healed += 1
+                payload = peer._get_object(obj, sizes[obj],
+                                           context=contexts[obj])
+                self._put_object(payload)
+                copied += 1
+                copied_bytes += len(payload)
+            self._write_manifest(manifest)
+            entry = peer.index.entries.get(digest)
+            if entry is not None:
+                # Copy: CompatIndex.add assigns a local seq, and the
+                # peer's entry object must not be mutated.
+                self.index.add(CompatEntry.from_dict(entry.to_dict()))
+                self.index.save(self._index_path)
+            obs.counter("store.replicate.recordings").inc()
+            obs.counter("store.replicate.objects").inc(copied)
+            obs.counter("store.replicate.bytes").inc(copied_bytes)
+            if healed:
+                obs.counter("store.replicate.healed").inc(healed)
+            return manifest
+
     # -- verify --------------------------------------------------------------
 
     def verify(self, digest: Optional[str] = None

@@ -568,12 +568,19 @@ def cmd_bench(args) -> int:
     """Run a benchmark suite; optionally guard a pin."""
     import json as json_mod
 
-    from repro.bench.experiments import (measure_fastpath, measure_obs,
+    from repro.bench.experiments import (fleet_scaling, measure_fastpath,
+                                         measure_fleet, measure_obs,
                                          measure_serve, measure_store,
                                          obs_overhead, replay_fastpath,
                                          serve_throughput, store_report)
 
-    if args.suite == "obs":
+    if args.suite == "fleet":
+        def measure():
+            return measure_fleet()
+        guarded = ("scaling_ratio", "differential_ok")
+        def render():
+            return fleet_scaling().render()
+    elif args.suite == "obs":
         def measure():
             return measure_obs()
         guarded = ("obs_speed_ratio",)
@@ -796,6 +803,134 @@ def cmd_serve(args) -> int:
         if mismatches:
             print(f"error: {len(mismatches)} outputs disagree with the "
                   f"CPU reference:", file=sys.stderr)
+            for mismatch in mismatches[:10]:
+                print(f"  {mismatch}", file=sys.stderr)
+            return 1
+        answered = counts["ok"] + counts["degraded"]
+        print(f"  verified: all {answered} answered outputs match the "
+              f"CPU reference",
+              file=sys.stderr if args.json else sys.stdout)
+    return 0
+
+
+def cmd_fleet(args) -> int:
+    """Serve a seeded synthetic load on a simulated multi-node fleet."""
+    import json as json_mod
+
+    from repro.bench.workloads import board_for_family
+    from repro.fleet import Fleet, FleetConfig
+    from repro.serve import (LoadgenConfig, RecordingStore,
+                             generate_requests, verify_report)
+
+    families = tuple(f.strip() for f in args.families.split(",")
+                     if f.strip())
+    models = tuple(m.strip() for m in args.models.split(",")
+                   if m.strip())
+    for family in families:
+        try:
+            board_for_family(family)
+        except ReproError:
+            print(f"unknown family {family!r}", file=sys.stderr)
+            return 2
+    quotas = []
+    for spec in args.quota or ():
+        tenant, _, cap = spec.partition("=")
+        if not tenant or not cap.isdigit():
+            print(f"error: --quota wants TENANT=N, got {spec!r}",
+                  file=sys.stderr)
+            return 2
+        quotas.append((tenant, int(cap)))
+    mix = tuple((family, model)
+                for family in sorted(set(families)) for model in models)
+    load_cfg = LoadgenConfig(
+        requests=args.requests, seed=args.seed, mix=mix,
+        fault_rate=args.fault_rate, shape=args.shape,
+        popularity=args.popularity,
+        tenants=tuple(t.strip() for t in args.tenants.split(",")
+                      if t.strip()) if args.tenants else ())
+    requests = generate_requests(load_cfg)
+    store = RecordingStore.from_zoo(mix)
+    fleet = Fleet(store, FleetConfig(
+        nodes=args.nodes, node_families=families, seed=args.seed,
+        queue_depth=args.queue_depth, max_batch=args.max_batch,
+        workers_max=args.max_workers, trace=not args.no_trace,
+        quotas=tuple(quotas)))
+    fleet.rtrace.meta("loadgen", args=load_cfg.to_dict())
+    report = fleet.serve(requests)
+    fleet.close()
+
+    aux = sys.stderr if args.json else sys.stdout
+    if args.routing_out:
+        with open(args.routing_out, "w") as handle:
+            for decision in report.routing:
+                handle.write(json_mod.dumps(decision, sort_keys=True))
+                handle.write("\n")
+        print(f"wrote {args.routing_out} ({len(report.routing)} "
+              f"routing decisions)", file=aux)
+    if args.trace_out:
+        from repro.obs.rtrace import events_to_jsonl
+
+        if args.no_trace:
+            print("error: --trace-out requires tracing (drop "
+                  "--no-trace)", file=sys.stderr)
+            return 2
+        with open(args.trace_out, "w") as handle:
+            handle.write(events_to_jsonl(report.trace_events))
+        print(f"wrote {args.trace_out} "
+              f"({len(report.trace_events)} events across "
+              f"{args.nodes} nodes)", file=aux)
+
+    counts = report.counts()
+    counters = report.snapshot["counters"]
+    gauges = report.snapshot["gauges"]
+    percentiles = report.latency_percentiles()
+    if args.json:
+        summary = report.summary()
+        summary["percentiles"] = percentiles
+        print(json_mod.dumps(summary, indent=1, sort_keys=True))
+    else:
+        print(f"served {report.submitted} requests on {args.nodes} "
+              f"nodes ({', '.join(families)} per node) in "
+              f"{fmt_ns(report.makespan_ns)} virtual")
+        print(f"  ok {counts['ok']}  degraded {counts['degraded']}  "
+              f"shed {counts['shed']}  lost {len(report.lost)}  "
+              f"duplicates {len(report.duplicates)}")
+        print(f"  routing: affinity "
+              f"{counters.get('fleet.router.affinity_hits', 0)}  "
+              f"p2c {counters.get('fleet.router.p2c_picks', 0)}  "
+              f"spills "
+              f"{counters.get('fleet.router.overload_spills', 0)}")
+        print(f"  autoscale: up "
+              f"{counters.get('fleet.autoscale.up', 0)}  down "
+              f"{counters.get('fleet.autoscale.down', 0)}  peak "
+              f"workers {gauges.get('fleet.workers.peak', 0):.0f}")
+        if counters.get("fleet.replication.peer_fetches"):
+            print(f"  replication: peer fetches "
+                  f"{counters.get('fleet.replication.peer_fetches', 0)}"
+                  f"  corrupt chunks "
+                  f"{counters.get('fleet.replication.corrupt_chunks', 0)}")
+        print(f"  latency p50 {fmt_ns(int(percentiles['p50']))}  "
+              f"p95 {fmt_ns(int(percentiles['p95']))}  "
+              f"p99 {fmt_ns(int(percentiles['p99']))}")
+        print(f"  throughput {report.throughput_rps():.1f} requests/s "
+              f"(virtual)")
+    failed = False
+    if report.lost:
+        print(f"error: {len(report.lost)} requests lost: "
+              f"{report.lost[:10]}", file=sys.stderr)
+        failed = True
+    if report.duplicates:
+        print(f"error: {len(report.duplicates)} requests answered "
+              f"more than once: {report.duplicates[:10]}",
+              file=sys.stderr)
+        failed = True
+    if failed:
+        return 1
+    if not args.no_verify:
+        mismatches = verify_report(report, store)
+        if mismatches:
+            print(f"error: {len(mismatches)} outputs disagree with "
+                  f"the CPU reference:", file=sys.stderr)
             for mismatch in mismatches[:10]:
                 print(f"  {mismatch}", file=sys.stderr)
             return 1
@@ -1259,7 +1394,8 @@ def build_parser() -> argparse.ArgumentParser:
         "bench", help="benchmark suites: replay fast path (load cache, "
         "compiled dispatch, resident dumps) or serving throughput")
     bench.add_argument("--suite",
-                       choices=("fastpath", "serve", "store", "obs"),
+                       choices=("fastpath", "serve", "store", "obs",
+                                "fleet"),
                        default="fastpath")
     bench.add_argument("--family", default="mali")
     bench.add_argument("--model", default="dense-serve")
@@ -1338,6 +1474,58 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--no-counters", action="store_true",
                        help="disable the GPU performance-counter tape")
     serve.set_defaults(func=cmd_serve)
+
+    fleet = sub.add_parser(
+        "fleet", help="serve a seeded synthetic load on a simulated "
+        "multi-node cluster (digest-affinity routing, queue-depth "
+        "autoscaling)")
+    fleet.add_argument("--nodes", type=int, default=3)
+    fleet.add_argument("--requests", type=int, default=300)
+    fleet.add_argument("--families", default="mali,v3d",
+                       help="comma list of board families every node "
+                       "hosts a pool for (default mali,v3d)")
+    fleet.add_argument("--models", default="mnist,kws",
+                       help="comma list of zoo models in the mix")
+    fleet.add_argument("--seed", type=int, default=2026)
+    fleet.add_argument("--fault-rate", type=float, default=0.0,
+                       help="probability a request carries an injected "
+                       "fault (transient/sticky/poison)")
+    fleet.add_argument("--shape", default="poisson",
+                       choices=("poisson", "diurnal", "spike"),
+                       help="arrival shape (default poisson)")
+    fleet.add_argument("--popularity", default="uniform",
+                       choices=("uniform", "zipf"),
+                       help="model popularity over the mix "
+                       "(default uniform)")
+    fleet.add_argument("--tenants", default=None,
+                       help="comma list of tenant names to stamp on "
+                       "requests (round-robin by the loadgen RNG)")
+    fleet.add_argument("--quota", action="append", metavar="TENANT=N",
+                       help="cap a tenant's fleet-wide in-flight "
+                       "requests (repeatable)")
+    fleet.add_argument("--max-workers", type=int, default=3,
+                       help="autoscaler ceiling per family per node "
+                       "(default 3)")
+    fleet.add_argument("--max-batch", type=int, default=4)
+    fleet.add_argument("--queue-depth", type=int, default=256,
+                       help="per-node admission queue bound")
+    fleet.add_argument("--json", action="store_true",
+                       help="machine-readable run summary")
+    fleet.add_argument("--no-verify", action="store_true",
+                       help="skip checking served outputs against the "
+                       "CPU reference")
+    fleet.add_argument("--no-trace", action="store_true",
+                       help="disable request-scoped tracing")
+    fleet.add_argument("--trace-out", default=None,
+                       metavar="EVENTS_JSONL",
+                       help="write the fleet-wide request trace event "
+                       "log (router hops and node spans on one "
+                       "timeline)")
+    fleet.add_argument("--routing-out", default=None,
+                       metavar="DECISIONS_JSONL",
+                       help="write the router's decision log (one "
+                       "JSON decision per line)")
+    fleet.set_defaults(func=cmd_fleet)
 
     profile = sub.add_parser(
         "profile", help="fold a serve trace event log into a "

@@ -1,0 +1,212 @@
+"""Property tests for the router and the autoscaler.
+
+Both components are pure control logic, so the properties run against
+synthetic traffic -- hundreds of randomized steps per seed, with the
+invariants checked after every step:
+
+- *affinity*: the router never picks a cold node while some warm node
+  is under its queue threshold (checkable from the decision log alone:
+  every decision records the pre-route in-flight snapshot and warm
+  set);
+- *pool bounds*: the autoscaler never exceeds ``max_workers`` per
+  family (live + provisioning) and always drains back to
+  ``min_workers`` when idle.
+"""
+
+import random
+
+import pytest
+
+from repro.fleet.autoscale import PoolAutoscaler
+from repro.fleet.router import DigestRouter
+from repro.soc.clock import VirtualClock
+from repro.units import MS
+
+NODES = 4
+THRESHOLD = 3
+
+
+def _check_decision(decision, node):
+    warm_under = [n for n in decision["warm"]
+                  if decision["inflight"][n] < THRESHOLD]
+    if warm_under:
+        assert decision["reason"] == "affinity", decision
+        assert node in warm_under, decision
+    else:
+        assert decision["reason"] != "affinity", decision
+
+
+class TestRouterProperties:
+    @pytest.mark.parametrize("seed", [1, 7, 23, 91])
+    def test_affinity_never_skips_a_warm_node_under_threshold(
+            self, seed):
+        rng = random.Random(seed)
+        router = DigestRouter(NODES, queue_threshold=THRESHOLD,
+                              seed=seed)
+        keys = [f"recording-{i}" for i in range(6)]
+        routed = 0
+        completed = 0
+        for rid in range(500):
+            node = router.route(rid, rng.choice(keys),
+                                list(range(NODES)))
+            routed += 1
+            _check_decision(router.decisions[-1], node)
+            # Complete a random subset so in-flight counts wander.
+            for n in range(NODES):
+                while router.inflight[n] > 0 and rng.random() < 0.4:
+                    router.note_done(n)
+                    completed += 1
+        assert sum(router.inflight) == routed - completed
+        assert all(count >= 0 for count in router.inflight)
+
+    def test_repeat_traffic_for_one_key_sticks_to_one_node(self):
+        router = DigestRouter(NODES, queue_threshold=THRESHOLD,
+                              seed=3)
+        first = router.route(0, "hot", list(range(NODES)))
+        router.note_done(first)
+        for rid in range(1, 50):
+            node = router.route(rid, "hot", list(range(NODES)))
+            assert node == first
+            router.note_done(node)
+        reasons = {d["reason"] for d in router.decisions[1:]}
+        assert reasons == {"affinity"}
+
+    def test_overload_spills_by_power_of_two(self):
+        router = DigestRouter(NODES, queue_threshold=2, seed=5)
+        # Saturate node picked for the hot key past its threshold.
+        for rid in range(8):
+            router.route(rid, "hot", list(range(NODES)))
+        spills = [d for d in router.decisions
+                  if d["reason"].startswith("spill")]
+        assert spills, "overload never spilled"
+        counters = {d["reason"] for d in router.decisions}
+        assert "affinity" in counters
+
+    def test_same_seed_same_decisions(self):
+        streams = []
+        for _ in range(2):
+            router = DigestRouter(NODES, queue_threshold=THRESHOLD,
+                                  seed=11)
+            rng = random.Random(99)
+            for rid in range(200):
+                router.route(rid, rng.choice("abcd"),
+                             list(range(NODES)))
+                if rng.random() < 0.5:
+                    busiest = max(range(NODES),
+                                  key=lambda n: router.inflight[n])
+                    if router.inflight[busiest]:
+                        router.note_done(busiest)
+            streams.append(router.decisions)
+        assert streams[0] == streams[1]
+
+
+class _StubWorker:
+    def __init__(self):
+        self.busy = False
+
+    def close(self):
+        pass
+
+
+class _StubServer:
+    """Just enough ReplayServer surface for the autoscaler: per-family
+    pools and a settable pending count."""
+
+    def __init__(self, families, workers_per_family):
+        self._pools = {f: [_StubWorker()
+                           for _ in range(workers_per_family)]
+                       for f in families}
+        self.pending = {f: 0 for f in families}
+
+    def workers_for(self, family):
+        return list(self._pools[family])
+
+    def pending_count(self, family=None):
+        if family is None:
+            return sum(self.pending.values())
+        return self.pending[family]
+
+    def outstanding_count(self, family=None):
+        return self.pending_count(family)
+
+    def add_worker(self, family, board=None):
+        worker = _StubWorker()
+        self._pools[family].append(worker)
+        return worker
+
+    def retire_worker(self, worker):
+        for pool in self._pools.values():
+            if worker in pool and not worker.busy:
+                pool.remove(worker)
+                return True
+        return False
+
+
+class TestAutoscalerProperties:
+    MIN, MAX = 1, 3
+
+    def _scaler(self, server, clock):
+        return PoolAutoscaler(
+            0, server, ["mali"], clock, min_workers=self.MIN,
+            max_workers=self.MAX, interval_ns=1 * MS,
+            scale_up_ns=2 * MS, backlog_per_worker=2)
+
+    @pytest.mark.parametrize("seed", [2, 13, 77])
+    def test_pool_never_exceeds_max(self, seed):
+        rng = random.Random(seed)
+        clock = VirtualClock()
+        server = _StubServer(["mali"], self.MIN)
+        scaler = self._scaler(server, clock)
+        for step in range(300):
+            server.pending["mali"] = rng.choice([0, 0, 1, 5, 20, 50])
+            clock.schedule(1 * MS, lambda: None)
+            clock.advance_to_next_event()
+            scaler.maybe_scale(clock.now())
+            live = len(server.workers_for("mali"))
+            total = live + scaler._provisioning["mali"]
+            assert total <= self.MAX, (step, total)
+            assert live >= self.MIN, (step, live)
+        assert scaler.peak["mali"] <= self.MAX
+
+    def test_drains_to_min_when_idle(self):
+        clock = VirtualClock()
+        server = _StubServer(["mali"], self.MIN)
+        scaler = self._scaler(server, clock)
+        server.pending["mali"] = 50
+        for _ in range(10):
+            clock.schedule(1 * MS, lambda: None)
+            clock.advance_to_next_event()
+            scaler.maybe_scale(clock.now())
+        while clock.advance_to_next_event():
+            pass  # provisioning completes
+        assert len(server.workers_for("mali")) == self.MAX
+        server.pending["mali"] = 0
+        scaler.drain(clock.now())
+        assert len(server.workers_for("mali")) == self.MIN
+        actions = [e["action"] for e in scaler.events]
+        assert actions.count("up") >= 2
+        assert actions.count("down") >= 2
+
+    def test_busy_workers_survive_drain(self):
+        clock = VirtualClock()
+        server = _StubServer(["mali"], self.MAX)
+        scaler = self._scaler(server, clock)
+        for worker in server.workers_for("mali"):
+            worker.busy = True
+        scaler.drain(clock.now())
+        assert len(server.workers_for("mali")) == self.MAX
+
+    def test_scale_up_is_provisioned_not_instant(self):
+        clock = VirtualClock()
+        server = _StubServer(["mali"], self.MIN)
+        scaler = self._scaler(server, clock)
+        server.pending["mali"] = 50
+        clock.schedule(1 * MS, lambda: None)
+        clock.advance_to_next_event()
+        scaler.maybe_scale(clock.now())
+        assert scaler._provisioning["mali"] == 1
+        assert len(server.workers_for("mali")) == self.MIN
+        while clock.advance_to_next_event():
+            pass
+        assert scaler._provisioning["mali"] == 0
+        assert len(server.workers_for("mali")) == self.MIN + 1

@@ -64,6 +64,16 @@ def registered_names():
         for io in recorded.recording.meta.inputs if not io.optional})
     replayer.cleanup()
     names |= _snapshot_names(machine.obs.snapshot())
+
+    from repro.fleet import Fleet, FleetConfig
+    fleet = Fleet(store, FleetConfig(
+        nodes=2, node_families=("mali", "v3d"), queue_depth=8,
+        quotas=(("acme", 2),), best_effort_limit=1))
+    fleet_report = fleet.serve(generate_requests(LoadgenConfig(
+        requests=24, seed=6, mix=mix, fault_rate=0.1,
+        tenants=("acme", "globex"), priorities=(0, 1, 2))))
+    fleet.close()
+    names |= _snapshot_names(fleet_report.snapshot)
     return names
 
 
@@ -71,7 +81,9 @@ def test_run_registers_a_representative_set(registered_names):
     assert len(registered_names) > 30
     for expected in ("serve.latency_ns", "serve.cache.warm",
                      "serve.cache.hit_ratio", "replay.attempts",
-                     "serve.mega.batches"):
+                     "serve.mega.batches", "fleet.latency_ns",
+                     "fleet.router.affinity_hits",
+                     "fleet.requests.submitted"):
         assert expected in registered_names
 
 

@@ -104,6 +104,41 @@ class TestZeroInterference:
                                    rtol=1e-5, atol=1e-6)
 
 
+class TestFleetZeroInterference:
+    """The same read-only contract, one level up: fleet-wide obs
+    toggles change no fleet output (the full-size fleet determinism
+    suite lives in tests/fleet/test_determinism.py)."""
+
+    def _fleet(self, **overrides):
+        from repro.fleet import Fleet, FleetConfig
+        stream = generate_requests(LoadgenConfig(
+            requests=24, seed=9, mix=MIX, fault_rate=0.1,
+            deadline_ns=0))
+        store = RecordingStore.from_zoo(MIX)
+        knobs = dict(nodes=2, node_families=("mali",), seed=9,
+                     queue_depth=64)
+        knobs.update(overrides)
+        fleet = Fleet(store, FleetConfig(**knobs))
+        report = fleet.serve(stream)
+        fleet.close()
+        return report
+
+    def test_fleet_obs_off_changes_no_result(self):
+        lit = self._fleet()
+        dark = self._fleet(trace=False, timeseries=False,
+                           gpu_counters=False)
+        assert dark.summary() == lit.summary()
+        assert dark.trace_events == []
+        assert lit.trace_events
+        by_rid = {r.rid: r for r in lit.responses}
+        for response in dark.responses:
+            twin = by_rid[response.rid]
+            assert response.status == twin.status
+            assert response.completed_ns == twin.completed_ns
+            for name, value in response.outputs.items():
+                assert np.array_equal(value, twin.outputs[name])
+
+
 class TestCounterMarks:
     def test_gpu_counter_marks_ride_the_trace(self, traced_report):
         marks = [e for e in traced_report.trace_events
