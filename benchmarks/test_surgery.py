@@ -1,0 +1,87 @@
+"""Recording surgery: acceptance benchmarks.
+
+Three claims:
+
+- slicing the mid job out of one zoo model per family (mali / v3d /
+  adreno) yields micro-recordings that replay byte-identical to the
+  same job inside their parent sessions -- the equivalence contract
+  must hold on all three families;
+- an interleaved composition of two mali slices agrees byte-for-byte
+  with the shared CPU op semantics and with the expected bytes its
+  manifest captured from the parents;
+- three sibling-SKU micro-recordings (a g31-recorded slice plus its
+  g52/g71 patches) pack with >= 90% of their dump-chunk refs shared,
+  pinned in ``BENCH_surgery.json`` and CI-guarded via ``grr bench
+  --suite surgery --check``.
+
+The replay engine is a deterministic emulation, so the per-kernel
+replay time (virtual ns) is asserted exactly against the pin; only
+the wall-clock slice/compose costs float.
+"""
+
+import json
+import pathlib
+
+import pytest
+
+from repro.bench.experiments import measure_surgery, surgery_report
+
+PIN_FILE = pathlib.Path(__file__).resolve().parent.parent / \
+    "BENCH_surgery.json"
+
+
+@pytest.fixture(scope="module")
+def measured():
+    return measure_surgery()
+
+
+def test_slice_equivalence_on_all_families(measured):
+    """The acceptance bar: byte-identical on mali, v3d and adreno."""
+    assert measured["equivalence_ok"] == \
+        measured["families_checked"] == 3
+
+
+def test_composed_session_passes_differential(measured):
+    assert measured["composed_differential_ok"] == 1.0
+    assert measured["composed_jobs"] == 4
+
+
+def test_sibling_sku_dedup_bar(measured):
+    """Three sibling-SKU micros must share >= 90% of dump chunks."""
+    assert measured["sibling_micros"] == 3
+    assert measured["sibling_dump_dedup"] >= 0.9, (
+        f"sibling-SKU dump dedup {measured['sibling_dump_dedup']:.2%} "
+        f"below the 90% bar")
+
+
+def test_pinned_guards_within_tolerance(measured):
+    """The same guard CI runs via ``grr bench --suite surgery --check``."""
+    pinned = json.loads(PIN_FILE.read_text())
+    for metric in ("sibling_dump_dedup", "equivalence_ok",
+                   "composed_differential_ok"):
+        floor = pinned[metric] * 0.8
+        assert measured[metric] >= floor, (
+            f"{metric} regressed: {measured[metric]} < floor "
+            f"{floor} (pinned {pinned[metric]})")
+
+
+def test_virtual_replay_time_is_exact(measured):
+    """Deterministic emulation: the virtual per-kernel replay time
+    cannot drift without a code change."""
+    pinned = json.loads(PIN_FILE.read_text())
+    assert measured["slice_replay_virtual_ns"] == \
+        pinned["slice_replay_virtual_ns"]
+
+
+def test_slices_shrink_dumps(measured):
+    # The whole point of the closure walk: a micro-recording carries
+    # a fraction of its parent's dump bytes.
+    assert measured["slice_dump_bytes"] < \
+        measured["parent_dump_bytes"] / 4
+
+
+def test_surgery_table_renders(experiment):
+    table = experiment(surgery_report)
+    metrics = {row["metric"]: row["value"] for row in table.rows}
+    assert metrics["equivalence_ok"] == 3
+    assert metrics["composed_differential_ok"] == 1.0

@@ -26,6 +26,8 @@ from repro.bench.experiments.serve_bench import (measure_serve,
                                                  serve_throughput)
 from repro.bench.experiments.store_bench import (measure_store,
                                                  store_report)
+from repro.bench.experiments.surgery_bench import (measure_surgery,
+                                                   surgery_report)
 from repro.bench.experiments.s72 import validation_suite
 from repro.bench.experiments.s73 import cpu_memory
 from repro.bench.experiments.s75 import (checkpoint_tradeoff,
@@ -45,6 +47,7 @@ __all__ = [
     "measure_obs",
     "measure_serve",
     "measure_store",
+    "measure_surgery",
     "obs_overhead",
     "preemption_delays",
     "recording_granularity",
@@ -54,6 +57,7 @@ __all__ = [
     "skip_interval_ablation",
     "startup_delays",
     "store_report",
+    "surgery_report",
     "sync_submission_overhead",
     "training_delays",
     "validation_suite",

@@ -199,6 +199,12 @@ class StoreCorruptionError(StoreError):
         self.dump_offset = dump_offset
 
 
+class SurgeryError(ReproError):
+    """Recording surgery (``repro.surgery``) could not slice or
+    compose: an unanalyzable job chain, a closure range no dump or
+    capture replay covers, or incompatible slices stitched together."""
+
+
 class EnvironmentError_(ReproError):
     """A deployment environment could not host the replayer."""
 

@@ -187,6 +187,32 @@ class RecordingStore:
         store never fetches."""
         return []
 
+    def reference_outputs(self, family: str, model: str,
+                          input_seed: int) -> Dict[str, np.ndarray]:
+        """Ground truth for one (family, model, input_seed) request:
+        the CPU reference interpreter's answer, shaped like the
+        recording's output interface. Stores whose recordings are not
+        zoo models (e.g. synthetic surgery sessions, which carry no
+        inputs and no framework graph) override this with their own
+        reference."""
+        from repro.stack.framework import build_model
+        from repro.stack.reference import run_reference
+
+        recording = self.interface(family, model)
+        inputs = request_inputs(recording, input_seed)
+        x = next(iter(inputs.values()))
+        graph = _MODEL_CACHE.get(model)
+        if graph is None:
+            graph = build_model(model)
+            _MODEL_CACHE[model] = graph
+        reference = run_reference(graph, x, fuse=False)
+        outputs: Dict[str, np.ndarray] = {}
+        for io in recording.meta.outputs:
+            shaped = reference.reshape(io.shape) if io.shape \
+                else reference.reshape(-1)
+            outputs[io.name] = shaped.astype(np.float32)
+        return outputs
+
 
 class VaultRecordingStore(RecordingStore):
     """A recording store backed by a :class:`repro.store.vault.Vault`.
@@ -307,26 +333,10 @@ _MODEL_CACHE: Dict[str, object] = {}
 
 def expected_outputs(store: RecordingStore, family: str, model: str,
                      input_seed: int) -> Dict[str, np.ndarray]:
-    """Ground truth: the CPU reference interpreter's answer, shaped
-    like the recording's output interface. This is both the degraded
-    fallback and what every served output is verified against."""
-    from repro.stack.framework import build_model
-    from repro.stack.reference import run_reference
-
-    recording = store.interface(family, model)
-    inputs = request_inputs(recording, input_seed)
-    x = next(iter(inputs.values()))
-    graph = _MODEL_CACHE.get(model)
-    if graph is None:
-        graph = build_model(model)
-        _MODEL_CACHE[model] = graph
-    reference = run_reference(graph, x, fuse=False)
-    outputs: Dict[str, np.ndarray] = {}
-    for io in recording.meta.outputs:
-        shaped = reference.reshape(io.shape) if io.shape \
-            else reference.reshape(-1)
-        outputs[io.name] = shaped.astype(np.float32)
-    return outputs
+    """Ground truth: the store's reference answer for this request.
+    This is both the degraded fallback and what every served output is
+    verified against; see :meth:`RecordingStore.reference_outputs`."""
+    return store.reference_outputs(family, model, input_seed)
 
 
 @dataclass

@@ -676,6 +676,39 @@ class Vault:
             "dump_bytes": sum(size for _va, size, _c in manifest.dumps),
         }
 
+    def job_sharing_stats(self) -> Dict[str, object]:
+        """Job-level dedup accounting across the vault's
+        micro-recordings (``repro.surgery`` slices, whose workloads
+        carry a ``#job`` marker, and ``synthetic/`` compositions).
+
+        Slicing multiplies recordings that share content wholesale --
+        sibling-SKU slices differ only in actions/metadata, and a
+        composed session re-uses its slices' tensor dumps -- so the
+        interesting number is how many of each micro-recording's dump
+        chunk refs resolve to chunks some *other* recording already
+        put in the vault. ``grr store pack`` prints this breakdown and
+        the surgery bench pins the sibling-SKU ratio.
+        """
+        per: List[Dict[str, object]] = []
+        for digest in self.digests():
+            manifest = self.load_manifest(digest)
+            if ("#job" not in manifest.workload
+                    and not manifest.workload.startswith("synthetic/")):
+                continue
+            stats = self.recording_stats(digest)
+            per.append(stats)
+        chunk_refs = sum(int(p["chunks"]) for p in per)
+        shared_refs = sum(int(p["shared_chunks"]) for p in per)
+        return {
+            "micro_recordings": len(per),
+            "chunk_refs": chunk_refs,
+            "shared_chunk_refs": shared_refs,
+            "dump_chunk_dedup": shared_refs / chunk_refs
+            if chunk_refs else 0.0,
+            "per_recording": sorted(
+                per, key=lambda p: str(p["workload"])),
+        }
+
     # -- queries -------------------------------------------------------------
 
     def best_for(self, family: str, board: Optional[str] = None,

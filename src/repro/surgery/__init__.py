@@ -1,0 +1,26 @@
+"""Recording surgery: slice, trim, and recompose recordings.
+
+- :mod:`repro.surgery.analyze`  -- per-job taint walk and dump closure
+- :mod:`repro.surgery.slicer`   -- one job/kernel -> micro-recording
+- :mod:`repro.surgery.composer` -- stitch slices into synthetic sessions
+- :mod:`repro.surgery.plan`     -- seeded plans over a model corpus
+- :mod:`repro.surgery.synth`    -- the serve/fleet synthetic store
+"""
+
+from repro.surgery.analyze import (JobInfo, KernelInfo, RecordingAnalysis,
+                                   analyze_recording,
+                                   cpu_reference_outputs)
+from repro.surgery.composer import (Composed, ComposedManifest, compose,
+                                    interleave, reorder, repeat)
+from repro.surgery.plan import SurgeryPlan, generate_plan, realize_plan
+from repro.surgery.slicer import (Slice, SliceManifest, slice_job,
+                                  verify_slice)
+from repro.surgery.synth import SyntheticRecordingStore
+
+__all__ = [
+    "Composed", "ComposedManifest", "JobInfo", "KernelInfo",
+    "RecordingAnalysis", "Slice", "SliceManifest", "SurgeryPlan",
+    "SyntheticRecordingStore", "analyze_recording", "compose",
+    "cpu_reference_outputs", "generate_plan", "interleave", "realize_plan",
+    "reorder", "repeat", "slice_job", "verify_slice",
+]

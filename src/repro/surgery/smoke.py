@@ -1,0 +1,181 @@
+"""CI smoke run for recording surgery, end to end::
+
+    python -m repro.surgery.smoke [artifact-dir]
+
+1. record the mali mnist zoo model and print its per-job surgery
+   table (``grr surgery ls``);
+2. slice one *kernel* out of the mid job with the equivalence check
+   on (``grr surgery slice --kernel 0 --check``) -- the slice must
+   replay byte-identical to the job inside its parent;
+3. slice three jobs and stitch them into one interleaved synthetic
+   session (``grr surgery compose --op interleave --check``) -- the
+   composed replay must agree with the CPU reference and with the
+   expected bytes the manifests captured;
+4. serve 50 requests of seeded synthetic sessions (a surgery plan
+   realized into a :class:`SyntheticRecordingStore`) and check every
+   answer against the stored ground truth;
+5. pack the parent plus its slices into a vault and assert the
+   job-level dump-chunk sharing is visible.
+
+``--forensics DIR`` instead dumps a surgery forensics bundle (the
+per-job analysis, slice + composed manifests, the seeded plan) into
+DIR -- what CI uploads when the surgery-smoke job fails.
+
+Exit code 0 on success; any failure prints the reason and exits 1.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+
+SMOKE_FAMILY = "mali"
+SMOKE_MODEL = "mnist"
+SMOKE_SEED = 7
+
+
+def _record_parent(outdir: str):
+    """Record the zoo parent; returns (path, recording)."""
+    from repro.bench.workloads import get_recorded
+
+    workload, _stack = get_recorded(SMOKE_FAMILY, SMOKE_MODEL)
+    path = os.path.join(outdir, f"{SMOKE_FAMILY}-{SMOKE_MODEL}.grr")
+    workload.recording.save(path)
+    return path, workload.recording
+
+
+def forensics_bundle(outdir: str) -> int:
+    """A surgery forensics bundle: the per-job analysis, one slice +
+    one composed manifest, and the seeded plan JSON."""
+    from repro.surgery import (analyze_recording, generate_plan,
+                               interleave, slice_job)
+
+    os.makedirs(outdir, exist_ok=True)
+    _path, parent = _record_parent(outdir)
+    analysis = analyze_recording(parent)
+    with open(os.path.join(outdir, "jobs.json"), "w") as f:
+        json.dump([info.to_dict() for info in analysis.jobs],
+                  f, indent=1)
+    slices = [slice_job(parent, j, analysis=analysis)
+              for j in (0, len(analysis.jobs) // 2)]
+    for slice_ in slices:
+        slice_.manifest.save(os.path.join(
+            outdir, f"slice-job{slice_.manifest.job_index}."
+            f"manifest.json"))
+    composed = interleave(slices, rounds=1)
+    composed.manifest.save(os.path.join(outdir,
+                                        "composed.manifest.json"))
+    plan = generate_plan(SMOKE_FAMILY,
+                         {SMOKE_MODEL: len(analysis.jobs)},
+                         sessions=3, seed=SMOKE_SEED)
+    plan.save(os.path.join(outdir, "plan.json"))
+    print(f"forensics bundle in {outdir}/: jobs.json, slice "
+          f"manifests, composed.manifest.json, plan.json")
+    return 0
+
+
+def main(argv=None) -> int:
+    from repro.serve import (LoadgenConfig, ReplayServer, ServerConfig,
+                             generate_requests, verify_report)
+    from repro.store import Vault
+    from repro.surgery import SyntheticRecordingStore, analyze_recording
+    from repro.tools import grr
+
+    argv = sys.argv[1:] if argv is None else argv
+    if argv and argv[0] == "--forensics":
+        return forensics_bundle(argv[1] if len(argv) > 1
+                                else "forensics-artifacts")
+    outdir = argv[0] if argv else "surgery-smoke-artifacts"
+    os.makedirs(outdir, exist_ok=True)
+
+    print(f"[1/5] recording {SMOKE_FAMILY} {SMOKE_MODEL}; surgery "
+          f"table ...")
+    parent_path, parent = _record_parent(outdir)
+    code = grr.main(["surgery", "ls", parent_path])
+    if code != 0:
+        print(f"FAIL: grr surgery ls exited {code}")
+        return 1
+    analysis = analyze_recording(parent)
+    n_jobs = len(analysis.jobs)
+    if n_jobs < 3:
+        print(f"FAIL: parent has only {n_jobs} jobs, need >= 3")
+        return 1
+    mid = n_jobs // 2
+
+    print(f"[2/5] slicing kernel 0 of job {mid} with the equivalence "
+          f"check ...")
+    kernel_path = os.path.join(outdir, "kernel-slice.grr")
+    code = grr.main(["surgery", "slice", parent_path, "--job",
+                     str(mid), "--kernel", "0", "--check", "-o",
+                     kernel_path])
+    if code != 0:
+        print(f"FAIL: kernel slice failed the equivalence check "
+              f"(exit {code})")
+        return 1
+
+    print("[3/5] slicing 3 jobs; composing an interleaved session "
+          "with the differential check ...")
+    slice_paths = []
+    for job in (0, mid, n_jobs - 1):
+        path = os.path.join(outdir, f"job{job}.grr")
+        code = grr.main(["surgery", "slice", parent_path, "--job",
+                         str(job), "-o", path])
+        if code != 0:
+            print(f"FAIL: slicing job {job} exited {code}")
+            return 1
+        slice_paths.append(path)
+    composed_path = os.path.join(outdir, "composed.grr")
+    code = grr.main(["surgery", "compose"] + slice_paths
+                    + ["--op", "interleave", "--rounds", "1",
+                       "--check", "-o", composed_path])
+    if code != 0:
+        print(f"FAIL: composed session failed the differential check "
+              f"(exit {code})")
+        return 1
+
+    print("[4/5] serving 50 requests of seeded synthetic sessions ...")
+    store = SyntheticRecordingStore.from_models(
+        SMOKE_FAMILY, [SMOKE_MODEL], sessions=3, seed=SMOKE_SEED)
+    mix = store.mix()
+    server = ReplayServer(store, ServerConfig(
+        families=(SMOKE_FAMILY, SMOKE_FAMILY), seed=2026))
+    stream = generate_requests(LoadgenConfig(
+        mix=mix, requests=50, seed=2026))
+    serve_report = server.serve(stream)
+    server.close()
+    counts = serve_report.counts()
+    if serve_report.lost or counts["shed"] or counts["degraded"]:
+        print(f"FAIL: synthetic serve was not clean: {counts}, "
+              f"lost={serve_report.lost}")
+        return 1
+    mismatches = verify_report(serve_report, store)
+    if mismatches:
+        print(f"FAIL: {len(mismatches)} served outputs disagree with "
+              f"the captured ground truth: {mismatches[:5]}")
+        return 1
+    with open(os.path.join(outdir, "serve-summary.json"), "w") as f:
+        json.dump(serve_report.summary(), f, indent=1, sort_keys=True)
+
+    print("[5/5] packing parent + slices; job-level sharing ...")
+    vault_dir = os.path.join(outdir, "vault")
+    code = grr.main(["store", "pack", vault_dir, parent_path,
+                     composed_path] + slice_paths)
+    if code != 0:
+        print(f"FAIL: grr store pack exited {code}")
+        return 1
+    sharing = Vault(vault_dir).job_sharing_stats()
+    if sharing["micro_recordings"] < 4 \
+            or not sharing["shared_chunk_refs"]:
+        print(f"FAIL: no job-level sharing visible: {sharing}")
+        return 1
+
+    print(f"SMOKE OK ({counts['ok']} synthetic requests served, "
+          f"{sharing['micro_recordings']} micro-recordings sharing "
+          f"{sharing['dump_chunk_dedup']:.0%} of dump chunks, "
+          f"artifacts in {outdir}/)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

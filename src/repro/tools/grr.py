@@ -18,22 +18,42 @@ Subcommands::
                                           a vault: chunk count, dedup
                                           ratio, chunks shared with
                                           other recordings
+    grr inspect <file> --jobs             surgery analysis: per-job
+                                          kernel chains, dump-closure
+                                          sizes, VA footprints
+    grr surgery slice <file> --job J [--kernel K] [-o OUT]
+                                          extract one job (or one
+                                          kernel of its chain) into a
+                                          standalone micro-recording
+                                          plus a .manifest.json sidecar
+    grr surgery compose <slice...> --op repeat|reorder|interleave
+                                          stitch micro-recordings into
+                                          one synthetic session with
+                                          per-instance VA rebasing
+    grr surgery ls <file...>              per-job surgery table over
+                                          recording files
     grr store pack <vault> <file...>      chunk + dedup recordings into
                                           a content-addressed vault
+                                          (reports job-level sharing
+                                          across micro-recordings)
     grr store ls <vault> [--family F]     the compatibility index
     grr store fetch <vault> <digest> -o OUT  verified reassembly
     grr store verify <vault> [digest] [--doctor]  scrub the integrity
                                           chain; --doctor localizes
                                           what each corruption breaks
     grr store gc <vault>                  delete unreferenced chunks
-    grr bench [--suite fastpath|serve|store] [--json] [--check PIN]
-                                          benchmark suites (no
+    grr bench [--suite fastpath|serve|store|obs|fleet|surgery]
+              [--json] [--check PIN]      benchmark suites (no
                                           recording file needed)
     grr serve [--requests N] [--workers N] [--fault-rate P]
-              [--trace-out events.jsonl] [--trace-chrome trace.json]
+              [--synthetic K] [--trace-out events.jsonl]
+              [--trace-chrome trace.json]
                                           run the concurrent replay
                                           serving engine on a seeded
-                                          synthetic load; verifies
+                                          synthetic load (--synthetic
+                                          serves K composed surgery
+                                          sessions per family instead
+                                          of the zoo models); verifies
                                           every answer against the CPU
                                           reference and can export the
                                           per-request trace event log
@@ -452,6 +472,8 @@ def cmd_inspect(args) -> int:
     if args.store:
         return _inspect_store(args)
     recording = _load(args.file)
+    if args.jobs:
+        return _inspect_jobs(args.file, recording)
     if args.digest and not args.dumps:
         print(recording.digest())
         return 0
@@ -464,6 +486,33 @@ def cmd_inspect(args) -> int:
         for index, dump in enumerate(recording.dumps):
             print(f"  dump #{index:<3} va {dump.va:#010x} "
                   f"{fmt_bytes(dump.size):>10}  sha256 {dump.digest}")
+    return 0
+
+
+def _inspect_jobs(path: str, recording: Recording) -> int:
+    """The surgery view: per-job kernel chains, closures, footprints."""
+    from repro.surgery import analyze_recording
+
+    analysis = analyze_recording(recording)
+    meta = recording.meta
+    print(f"recording: {path}")
+    print(f"  workload {meta.workload}  family {meta.family}  "
+          f"{meta.gpu_model} on {meta.board}  "
+          f"jobs {len(analysis.jobs)}")
+    for info in analysis.jobs:
+        lo, hi = info.va_footprint
+        print(f"  job {info.job_index:<3} kick @#{info.kick_index:<4} "
+              f"kernels {len(info.kernels)}  "
+              f"closure {fmt_bytes(info.closure_bytes):>9} "
+              f"({len(info.closure)} ranges, "
+              f"{fmt_bytes(info.dump_covered_bytes)} dump-covered)  "
+              f"va {lo:#x}..{hi:#x}")
+        for kernel in info.kernels:
+            print(f"      kernel {kernel.index}: "
+                  f"desc {kernel.desc_va:#x} "
+                  f"shader {kernel.shader_va:#x}"
+                  f"+{kernel.shader_size}  "
+                  f"ops {'+'.join(kernel.ops)}")
     return 0
 
 
@@ -484,6 +533,22 @@ def cmd_store_pack(args) -> int:
           f"({stats.shared_chunk_ratio:.1%} shared), "
           f"{fmt_bytes(stats.disk_bytes)} on disk for "
           f"{fmt_bytes(stats.logical_bytes)} logical")
+    job_stats = vault.job_sharing_stats()
+    if job_stats["micro_recordings"]:
+        print(f"  job-level sharing: {job_stats['micro_recordings']} "
+              f"micro-recordings, "
+              f"{job_stats['shared_chunk_refs']}/"
+              f"{job_stats['chunk_refs']} dump-chunk refs shared "
+              f"({job_stats['dump_chunk_dedup']:.1%} dedup)")
+        for entry in job_stats["per_recording"]:
+            siblings = ",".join(d[:12] for d in entry["shared_with"])
+            line = (f"    {entry['digest'][:12]} "
+                    f"{entry['workload']:<28} "
+                    f"{entry['shared_chunks']}/{entry['chunks']} "
+                    f"chunks shared")
+            if siblings:
+                line += f" (with {siblings})"
+            print(line)
     return 0
 
 
@@ -564,6 +629,127 @@ def cmd_store_gc(args) -> int:
     return 0
 
 
+def cmd_surgery_slice(args) -> int:
+    """Extract one job (or one kernel) into a micro-recording."""
+    from repro.surgery import analyze_recording, slice_job, verify_slice
+    from repro.surgery.analyze import ranges_bytes
+
+    parent = _load(args.file)
+    analysis = analyze_recording(parent)
+    slice_ = slice_job(parent, args.job, kernel_index=args.kernel,
+                       input_seed=args.input_seed, board=args.board,
+                       analysis=analysis)
+    out = args.output
+    if out is None:
+        out = f"{args.file}.job{args.job}"
+        if args.kernel is not None:
+            out += f".k{args.kernel}"
+        out += ".grr"
+    with open(out, "wb") as handle:
+        handle.write(slice_.recording.to_bytes())
+    manifest_path = out + ".manifest.json"
+    slice_.manifest.save(manifest_path)
+    manifest = slice_.manifest
+    what = f"job {manifest.job_index}"
+    if manifest.kernel_index >= 0:
+        what += f" kernel {manifest.kernel_index}"
+    print(f"sliced {manifest.parent_workload} {what} -> {out}")
+    print(f"  digest {manifest.slice_digest[:12]}  family "
+          f"{manifest.family}  board {manifest.board}")
+    closure = [tuple(r) for r in manifest.closure]
+    print(f"  closure {fmt_bytes(ranges_bytes(closure))} over "
+          f"{len(closure)} ranges; dumps "
+          f"{fmt_bytes(slice_.recording.dump_bytes())} "
+          f"(parent carries {fmt_bytes(parent.dump_bytes())})")
+    print(f"  outputs {', '.join(o['name'] for o in manifest.outputs)}"
+          f"  manifest -> {manifest_path}")
+    if args.check:
+        if verify_slice(parent, slice_, board=args.board,
+                        analysis=analysis):
+            print("  equivalence: slice write-set is byte-identical "
+                  "to the parent's")
+        else:
+            print("error: slice write-set diverges from the parent "
+                  "session", file=sys.stderr)
+            return 1
+    return 0
+
+
+def _load_slice(path: str):
+    """A slice file plus its required .manifest.json sidecar."""
+    from repro.surgery import Slice, SliceManifest
+
+    recording = _load(path)
+    manifest = SliceManifest.load(path + ".manifest.json")
+    if manifest.slice_digest != recording.digest():
+        raise VerificationError(
+            f"{path}: manifest sidecar is for digest "
+            f"{manifest.slice_digest[:12]}, file is "
+            f"{recording.digest()[:12]}")
+    return Slice(recording, manifest)
+
+
+def cmd_surgery_compose(args) -> int:
+    """Stitch micro-recordings into one synthetic session."""
+    import numpy as np
+
+    from repro.surgery import interleave, reorder, repeat
+
+    slices = [_load_slice(path) for path in args.slices]
+    if args.op == "repeat":
+        if len(slices) != 1:
+            print("error: --op repeat takes exactly one slice",
+                  file=sys.stderr)
+            return 2
+        composed = repeat(slices[0], args.n)
+    elif args.op == "reorder":
+        composed = reorder(slices, args.order_seed)
+    else:
+        composed = interleave(slices, rounds=args.rounds)
+    with open(args.output, "wb") as handle:
+        handle.write(composed.recording.to_bytes())
+    manifest_path = args.output + ".manifest.json"
+    composed.manifest.save(manifest_path)
+    manifest = composed.manifest
+    print(f"composed {manifest.op}: {len(manifest.schedule)} jobs over "
+          f"{len(manifest.instances)} instances -> {args.output}")
+    print(f"  digest {manifest.composed_digest[:12]}  family "
+          f"{manifest.family}  schedule {manifest.schedule}")
+    for index, inst in enumerate(manifest.instances):
+        print(f"  instance {index}: {inst['workload']} "
+              f"[{str(inst['slice_digest'])[:12]}] at "
+              f"delta {inst['delta']:#x}")
+    print(f"  manifest -> {manifest_path}")
+    if args.check:
+        from repro.surgery import cpu_reference_outputs
+        from repro.surgery.composer import replay_composed_outputs
+
+        expected = manifest.expected_output_arrays()
+        cpu = cpu_reference_outputs(composed.recording)
+        gpu = replay_composed_outputs(composed, args.board)
+        bad = [name for name, want in sorted(expected.items())
+               if not (np.array_equal(
+                   want.reshape(-1),
+                   np.asarray(cpu[name], np.float32).reshape(-1))
+                   and np.array_equal(
+                       want.reshape(-1),
+                       np.asarray(gpu[name], np.float32).reshape(-1)))]
+        if bad:
+            print(f"error: {len(bad)} outputs disagree across "
+                  f"manifest/CPU/GPU: {bad[:10]}", file=sys.stderr)
+            return 1
+        print(f"  differential: all {len(expected)} outputs agree "
+              f"(GPU replay == CPU reference == manifest)")
+    return 0
+
+
+def cmd_surgery_ls(args) -> int:
+    """Per-job surgery table over recording files."""
+    for path in args.files:
+        _inspect_jobs(path, _load(path))
+    return 0
+
+
 def cmd_bench(args) -> int:
     """Run a benchmark suite; optionally guard a pin."""
     import json as json_mod
@@ -571,8 +757,9 @@ def cmd_bench(args) -> int:
     from repro.bench.experiments import (fleet_scaling, measure_fastpath,
                                          measure_fleet, measure_obs,
                                          measure_serve, measure_store,
-                                         obs_overhead, replay_fastpath,
-                                         serve_throughput, store_report)
+                                         measure_surgery, obs_overhead,
+                                         replay_fastpath, serve_throughput,
+                                         store_report, surgery_report)
 
     if args.suite == "fleet":
         def measure():
@@ -598,6 +785,13 @@ def cmd_bench(args) -> int:
         guarded = ("dedup_savings",)
         def render():
             return store_report().render()
+    elif args.suite == "surgery":
+        def measure():
+            return measure_surgery()
+        guarded = ("sibling_dump_dedup", "equivalence_ok",
+                   "composed_differential_ok")
+        def render():
+            return surgery_report().render()
     else:
         def measure():
             return measure_fastpath(family=args.family,
@@ -676,13 +870,26 @@ def cmd_serve(args) -> int:
             return 2
     worker_families = tuple(families[i % len(families)]
                             for i in range(args.workers))
-    mix = tuple((family, model)
-                for family in sorted(set(families)) for model in models)
+    if args.synthetic:
+        # The synthetic workload source: composed surgery sessions
+        # drawn from a seeded plan, served exactly like zoo models.
+        from repro.surgery import SyntheticRecordingStore
+
+        store = SyntheticRecordingStore()
+        for family in sorted(set(families)):
+            store.populate_from_models(
+                family, list(models), sessions=args.synthetic,
+                seed=args.synthetic_seed)
+        mix = tuple(store.mix())
+    else:
+        store = RecordingStore.from_zoo(tuple(
+            (family, model)
+            for family in sorted(set(families)) for model in models))
+        mix = tuple(store.mix())
     load_cfg = LoadgenConfig(
         requests=args.requests, seed=args.seed, mix=mix,
         fault_rate=args.fault_rate)
     requests = generate_requests(load_cfg)
-    store = RecordingStore.from_zoo(mix)
     tracing = not args.no_trace
     server = ReplayServer(store, ServerConfig(
         families=worker_families, seed=args.seed,
@@ -840,8 +1047,20 @@ def cmd_fleet(args) -> int:
                   file=sys.stderr)
             return 2
         quotas.append((tenant, int(cap)))
-    mix = tuple((family, model)
-                for family in sorted(set(families)) for model in models)
+    if args.synthetic:
+        from repro.surgery import SyntheticRecordingStore
+
+        store = SyntheticRecordingStore()
+        for family in sorted(set(families)):
+            store.populate_from_models(
+                family, list(models), sessions=args.synthetic,
+                seed=args.synthetic_seed)
+        mix = tuple(store.mix())
+    else:
+        store = RecordingStore.from_zoo(tuple(
+            (family, model)
+            for family in sorted(set(families)) for model in models))
+        mix = tuple(store.mix())
     load_cfg = LoadgenConfig(
         requests=args.requests, seed=args.seed, mix=mix,
         fault_rate=args.fault_rate, shape=args.shape,
@@ -849,7 +1068,6 @@ def cmd_fleet(args) -> int:
         tenants=tuple(t.strip() for t in args.tenants.split(",")
                       if t.strip()) if args.tenants else ())
     requests = generate_requests(load_cfg)
-    store = RecordingStore.from_zoo(mix)
     fleet = Fleet(store, FleetConfig(
         nodes=args.nodes, node_families=families, seed=args.seed,
         queue_depth=args.queue_depth, max_batch=args.max_batch,
@@ -1342,7 +1560,67 @@ def build_parser() -> argparse.ArgumentParser:
     inspect.add_argument("--store", default=None, metavar="VAULT",
                          help="chunk-level view inside a vault; FILE "
                          "may be a recording file or a digest prefix")
+    inspect.add_argument("--jobs", action="store_true",
+                         help="surgery analysis: per-job kernel "
+                         "chains, dump closures, VA footprints")
     inspect.set_defaults(func=cmd_inspect)
+
+    surgery = sub.add_parser(
+        "surgery", help="recording surgery: slice one job/kernel into "
+        "a micro-recording, compose slices into synthetic sessions")
+    surgery_sub = surgery.add_subparsers(dest="surgery_command",
+                                         required=True)
+
+    sslice = surgery_sub.add_parser(
+        "slice", help="extract one job (or one kernel of its chain) "
+        "into a standalone micro-recording + manifest sidecar")
+    sslice.add_argument("file")
+    sslice.add_argument("--job", type=int, required=True,
+                        help="job index to extract (see `grr surgery "
+                        "ls`)")
+    sslice.add_argument("--kernel", type=int, default=None,
+                        help="only this kernel of the job's chain")
+    sslice.add_argument("--input-seed", type=int, default=0,
+                        help="seed for the parent's input deposit "
+                        "baked into the slice (default 0)")
+    sslice.add_argument("--board", default=None,
+                        help="capture-replay board (defaults to the "
+                        "recording's)")
+    sslice.add_argument("-o", "--output", default=None,
+                        help="output path (default "
+                        "FILE.jobJ[.kK].grr)")
+    sslice.add_argument("--check", action="store_true",
+                        help="replay both sides and verify the slice "
+                        "is byte-identical to the job in its parent")
+    sslice.set_defaults(func=cmd_surgery_slice)
+
+    scompose = surgery_sub.add_parser(
+        "compose", help="stitch micro-recordings into one synthetic "
+        "session (VA-rebased per instance)")
+    scompose.add_argument("slices", nargs="+",
+                          help="slice files (each needs its "
+                          ".manifest.json sidecar)")
+    scompose.add_argument("--op", required=True,
+                          choices=("repeat", "reorder", "interleave"))
+    scompose.add_argument("-n", type=int, default=3,
+                          help="repeat count (repeat op, default 3)")
+    scompose.add_argument("--rounds", type=int, default=1,
+                          help="round-robin rounds (interleave op)")
+    scompose.add_argument("--order-seed", type=int, default=0,
+                          help="shuffle seed (reorder op)")
+    scompose.add_argument("-o", "--output", required=True)
+    scompose.add_argument("--board", default=None,
+                          help="--check replay board (defaults to the "
+                          "slices')")
+    scompose.add_argument("--check", action="store_true",
+                          help="replay the composed session and "
+                          "verify GPU == CPU reference == manifest")
+    scompose.set_defaults(func=cmd_surgery_compose)
+
+    sls = surgery_sub.add_parser(
+        "ls", help="per-job surgery table over recording files")
+    sls.add_argument("files", nargs="+")
+    sls.set_defaults(func=cmd_surgery_ls)
 
     store = sub.add_parser(
         "store", help="the content-addressed recording vault: pack, "
@@ -1395,7 +1673,7 @@ def build_parser() -> argparse.ArgumentParser:
         "compiled dispatch, resident dumps) or serving throughput")
     bench.add_argument("--suite",
                        choices=("fastpath", "serve", "store", "obs",
-                                "fleet"),
+                                "fleet", "surgery"),
                        default="fastpath")
     bench.add_argument("--family", default="mali")
     bench.add_argument("--model", default="dense-serve")
@@ -1429,6 +1707,12 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--models", default="mnist,kws",
                        help="comma list of zoo models in the mix")
     serve.add_argument("--seed", type=int, default=2026)
+    serve.add_argument("--synthetic", type=int, default=0, metavar="K",
+                       help="serve K composed surgery sessions per "
+                       "family (sliced + recomposed from the zoo "
+                       "models) instead of the models themselves")
+    serve.add_argument("--synthetic-seed", type=int, default=7,
+                       help="surgery-plan seed (default 7)")
     serve.add_argument("--fault-rate", type=float, default=0.0,
                        help="probability a request carries an injected "
                        "fault (transient/sticky/poison)")
@@ -1487,6 +1771,11 @@ def build_parser() -> argparse.ArgumentParser:
     fleet.add_argument("--models", default="mnist,kws",
                        help="comma list of zoo models in the mix")
     fleet.add_argument("--seed", type=int, default=2026)
+    fleet.add_argument("--synthetic", type=int, default=0, metavar="K",
+                       help="serve K composed surgery sessions per "
+                       "family instead of the zoo models")
+    fleet.add_argument("--synthetic-seed", type=int, default=7,
+                       help="surgery-plan seed (default 7)")
     fleet.add_argument("--fault-rate", type=float, default=0.0,
                        help="probability a request carries an injected "
                        "fault (transient/sticky/poison)")

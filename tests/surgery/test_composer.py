@@ -1,0 +1,139 @@
+"""Composer invariants: repeat/reorder/interleave pass the
+CPU-reference differential, instances never collide in VA space, and
+seeded plans are byte-identical across runs.
+"""
+
+import numpy as np
+import pytest
+
+from repro.bench.workloads import (board_for_family, record_math_kernel,
+                                   saxpy_ir, vecadd_ir)
+from repro.errors import SurgeryError
+from repro.surgery import (SurgeryPlan, analyze_recording, compose,
+                           cpu_reference_outputs, generate_plan,
+                           interleave, realize_plan, reorder, repeat,
+                           slice_job)
+from repro.surgery.composer import REGION_ALIGN, replay_composed_outputs
+
+
+@pytest.fixture(scope="module")
+def mali_board():
+    return board_for_family("mali")
+
+
+@pytest.fixture(scope="module")
+def parents(mali_board):
+    """Two small single-job mali parents: vecadd and saxpy."""
+    return {
+        "vecadd": record_math_kernel(
+            "mali", vecadd_ir(64), mali_board).recording,
+        "saxpy": record_math_kernel(
+            "mali", saxpy_ir(64), mali_board).recording,
+    }
+
+
+@pytest.fixture(scope="module")
+def slices(parents):
+    return {name: slice_job(rec, 0) for name, rec in parents.items()}
+
+
+def _differential_ok(composed):
+    """GPU replay == CPU reference == manifest expected, byte-for-byte."""
+    expected = composed.manifest.expected_output_arrays()
+    cpu = cpu_reference_outputs(composed.recording)
+    gpu = replay_composed_outputs(composed)
+    assert set(expected) == set(cpu) == set(gpu)
+    for name, want in expected.items():
+        flat = want.reshape(-1)
+        assert np.array_equal(
+            flat, np.asarray(cpu[name], np.float32).reshape(-1)), name
+        assert np.array_equal(
+            flat, np.asarray(gpu[name], np.float32).reshape(-1)), name
+
+
+def test_repeat_differential(slices):
+    composed = repeat(slices["vecadd"], 3)
+    assert composed.recording.meta.n_jobs == 3
+    assert composed.manifest.op == "repeat"
+    _differential_ok(composed)
+    # Re-upload-per-kick semantics: every occurrence computes the
+    # same bytes.
+    outs = composed.manifest.expected_output_arrays()
+    per_instance = {}
+    for name, arr in outs.items():
+        instance = name.split(".", 1)[0]
+        per_instance.setdefault(instance, []).append(arr)
+    arrays = [np.concatenate([a.reshape(-1) for a in v])
+              for v in per_instance.values()]
+    assert all(np.array_equal(arrays[0], a) for a in arrays[1:])
+
+
+def test_interleave_differential(slices):
+    composed = interleave([slices["vecadd"], slices["saxpy"]], rounds=2)
+    assert composed.recording.meta.n_jobs == 4
+    _differential_ok(composed)
+
+
+def test_reorder_differential(slices):
+    composed = reorder([slices["vecadd"], slices["saxpy"]], seed=9)
+    assert composed.recording.meta.n_jobs == 2
+    assert sorted(composed.manifest.schedule) == [0, 1]
+    _differential_ok(composed)
+
+
+def test_instances_get_disjoint_va_regions(slices):
+    composed = interleave([slices["vecadd"], slices["saxpy"]])
+    deltas = [inst["delta"] for inst in composed.manifest.instances]
+    assert deltas[0] == 0
+    assert len(set(deltas)) == len(deltas)
+    for delta in deltas[1:]:
+        assert delta % REGION_ALIGN == 0 or delta > 0
+
+
+def test_composed_analyzes_as_multi_job(slices):
+    composed = repeat(slices["vecadd"], 2)
+    analysis = analyze_recording(composed.recording)
+    assert len(analysis.jobs) == 2
+    # Instance 1 runs the same program at its own base.
+    ops = [[k.ops for k in info.kernels] for info in analysis.jobs]
+    assert ops[0] == ops[1]
+
+
+def test_compose_rejects_empty_and_bad_schedule(slices):
+    with pytest.raises(SurgeryError):
+        compose([], [])
+    with pytest.raises(SurgeryError):
+        compose([slices["vecadd"]], [0, 1])
+    with pytest.raises(SurgeryError):
+        repeat(slices["vecadd"], 0)
+
+
+class TestSeededPlans:
+    CORPUS = {"saxpy": 1, "vecadd": 1}
+
+    def test_plan_json_is_byte_identical_across_runs(self):
+        a = generate_plan("mali", self.CORPUS, sessions=4, seed=11)
+        b = generate_plan("mali", self.CORPUS, sessions=4, seed=11)
+        assert a.to_json() == b.to_json()
+        assert SurgeryPlan.from_json(a.to_json()).to_json() == \
+            a.to_json()
+
+    def test_different_seed_different_plan(self):
+        a = generate_plan("mali", self.CORPUS, sessions=4, seed=11)
+        b = generate_plan("mali", self.CORPUS, sessions=4, seed=12)
+        assert a.to_json() != b.to_json()
+
+    def test_realized_sessions_byte_identical_across_runs(self, parents):
+        plan = generate_plan("mali", self.CORPUS, sessions=2, seed=5)
+        first = realize_plan(plan, parents)
+        second = realize_plan(plan, parents)
+        assert [name for name, _c in first] == \
+            [name for name, _c in second] == ["syn0", "syn1"]
+        for (_n1, c1), (_n2, c2) in zip(first, second):
+            assert c1.recording.digest() == c2.recording.digest()
+            assert c1.manifest.to_json() == c2.manifest.to_json()
+
+    def test_realize_needs_all_recordings(self, parents):
+        plan = generate_plan("mali", self.CORPUS, sessions=1, seed=5)
+        with pytest.raises(SurgeryError):
+            realize_plan(plan, {"vecadd": parents["vecadd"]})

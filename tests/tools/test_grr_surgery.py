@@ -1,0 +1,125 @@
+"""The ``grr surgery`` CLI surface, ``grr inspect --jobs``, the
+store-pack job-sharing report, and ``grr serve --synthetic``."""
+
+import json
+
+import pytest
+
+from repro.tools.grr import main
+
+
+@pytest.fixture(scope="module")
+def parent_path(tmp_path_factory):
+    from repro.bench.workloads import (board_for_family,
+                                       record_math_kernel, saxpy_ir)
+    workload = record_math_kernel("mali", saxpy_ir(64),
+                                  board_for_family("mali"))
+    path = tmp_path_factory.mktemp("surgery") / "saxpy.grr"
+    workload.recording.save(str(path))
+    return str(path)
+
+
+@pytest.fixture(scope="module")
+def slice_path(parent_path, tmp_path_factory):
+    out = tmp_path_factory.mktemp("slices") / "saxpy-job0.grr"
+    assert main(["surgery", "slice", parent_path, "--job", "0",
+                 "-o", str(out)]) == 0
+    return str(out)
+
+
+class TestInspectJobs:
+    def test_jobs_table(self, parent_path, capsys):
+        assert main(["inspect", parent_path, "--jobs"]) == 0
+        out = capsys.readouterr().out
+        assert "jobs 1" in out
+        assert "job 0" in out
+        assert "closure" in out
+        assert "ops" in out
+
+    def test_surgery_ls_same_table(self, parent_path, capsys):
+        assert main(["surgery", "ls", parent_path]) == 0
+        assert "job 0" in capsys.readouterr().out
+
+
+class TestSlice:
+    def test_slice_with_check(self, parent_path, tmp_path, capsys):
+        out = tmp_path / "s.grr"
+        assert main(["surgery", "slice", parent_path, "--job", "0",
+                     "--check", "-o", str(out)]) == 0
+        stdout = capsys.readouterr().out
+        assert "byte-identical" in stdout
+        assert out.exists()
+        manifest = json.loads((tmp_path / "s.grr.manifest.json")
+                              .read_text())
+        assert manifest["schema"] == "surgery.slice.v1"
+        assert manifest["job_index"] == 0
+        assert manifest["expected_outputs"]
+
+    def test_bad_job_index_exits_1(self, parent_path, tmp_path, capsys):
+        assert main(["surgery", "slice", parent_path, "--job", "5",
+                     "-o", str(tmp_path / "x.grr")]) == 1
+        assert "error" in capsys.readouterr().err
+
+
+class TestCompose:
+    def test_repeat_with_check(self, slice_path, tmp_path, capsys):
+        out = tmp_path / "c.grr"
+        assert main(["surgery", "compose", slice_path, "--op",
+                     "repeat", "-n", "2", "--check",
+                     "-o", str(out)]) == 0
+        stdout = capsys.readouterr().out
+        assert "outputs agree" in stdout
+        manifest = json.loads((tmp_path / "c.grr.manifest.json")
+                              .read_text())
+        assert manifest["schema"] == "surgery.composed.v1"
+        assert manifest["schedule"] == [0, 0]
+
+    def test_repeat_wants_one_slice(self, slice_path, tmp_path, capsys):
+        assert main(["surgery", "compose", slice_path, slice_path,
+                     "--op", "repeat",
+                     "-o", str(tmp_path / "c.grr")]) == 2
+        assert "exactly one" in capsys.readouterr().err
+
+    def test_stale_manifest_sidecar_exits_1(self, slice_path, tmp_path,
+                                            capsys):
+        import shutil
+        copy = tmp_path / "copy.grr"
+        shutil.copy(slice_path, copy)
+        manifest = json.loads(
+            open(slice_path + ".manifest.json").read())
+        manifest["slice_digest"] = "0" * 64
+        (tmp_path / "copy.grr.manifest.json").write_text(
+            json.dumps(manifest))
+        assert main(["surgery", "compose", str(copy), "--op", "repeat",
+                     "-o", str(tmp_path / "c.grr")]) == 1
+        assert "manifest sidecar" in capsys.readouterr().err
+
+
+class TestStorePackSharing:
+    def test_job_sharing_block(self, slice_path, tmp_path, capsys):
+        compose_out = tmp_path / "c.grr"
+        assert main(["surgery", "compose", slice_path, "--op",
+                     "repeat", "-n", "2", "-o", str(compose_out)]) == 0
+        vault = tmp_path / "vault"
+        assert main(["store", "pack", str(vault), slice_path,
+                     str(compose_out)]) == 0
+        out = capsys.readouterr().out
+        assert "job-level sharing: 2 micro-recordings" in out
+        assert "chunks shared" in out
+
+    def test_no_block_without_micros(self, parent_path, tmp_path,
+                                     capsys):
+        vault = tmp_path / "vault"
+        assert main(["store", "pack", str(vault), parent_path]) == 0
+        assert "job-level" not in capsys.readouterr().out
+
+
+class TestServeSynthetic:
+    def test_serve_synthetic_sessions(self, capsys):
+        assert main(["serve", "--requests", "8", "--workers", "1",
+                     "--families", "mali", "--models", "mnist",
+                     "--synthetic", "2", "--synthetic-seed", "7",
+                     "--no-counters"]) == 0
+        out = capsys.readouterr().out
+        assert "served 8 requests" in out
+        assert "verified: all 8" in out
